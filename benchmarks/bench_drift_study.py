@@ -1,0 +1,38 @@
+"""Section V — calibration-drift study (optimize once vs optimize daily)."""
+
+import numpy as np
+
+from repro.experiments import run_drift_study
+
+
+def test_drift_study(benchmark, save_results):
+    result = benchmark.pedantic(
+        run_drift_study,
+        kwargs={
+            "gate": "x",
+            "n_days": 4,
+            "duration_ns": 105.0,
+            "n_ts": 12,
+            "drift_seed": 7,
+            "seed": 2022,
+            "histogram_shots": 1500,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    summary = result.summary()
+    # re-optimizing daily should track the drifting device at least as well on average
+    assert summary["mean_channel_error_daily"] <= summary["mean_channel_error_once"] * 1.5
+    save_results(
+        "drift_study",
+        {
+            "days": result.days,
+            "channel_error_optimize_once": result.channel_error_once,
+            "channel_error_optimize_daily": result.channel_error_daily,
+            "histogram_P1_optimize_once": result.histogram_population_once,
+            "histogram_P1_optimize_daily": result.histogram_population_daily,
+            "histogram_P1_std_once": float(np.std(result.histogram_population_once)),
+            "histogram_P1_std_daily": float(np.std(result.histogram_population_daily)),
+            **{k: v for k, v in summary.items() if isinstance(v, float)},
+        },
+    )

@@ -1,0 +1,21 @@
+"""Fig. 1 — initial vs optimized control pulses for the X gate (pulseoptim output)."""
+
+from repro.experiments import figures
+
+
+def test_fig1_x_pulses(benchmark, save_results):
+    data = benchmark.pedantic(figures.fig1_x_pulses, kwargs={"seed": 2022}, rounds=1, iterations=1)
+    assert data["fid_err"] < 5e-3
+    assert data["optimized_x"].shape == data["initial_x"].shape
+    save_results(
+        "fig1_x_pulses",
+        {
+            "slot_times_ns": data["times_ns"],
+            "initial_x_control": data["initial_x"],
+            "initial_y_control": data["initial_y"],
+            "optimized_x_control": data["optimized_x"],
+            "optimized_y_control": data["optimized_y"],
+            "final_infidelity": data["fid_err"],
+            "iterations": data["n_iter"],
+        },
+    )

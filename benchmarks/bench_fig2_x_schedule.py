@@ -1,0 +1,22 @@
+"""Fig. 2 — the optimized X pulse on drive channel D0 replacing the default X."""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig2_x_schedule(benchmark, save_results):
+    data = benchmark.pedantic(figures.fig2_x_schedule, kwargs={"seed": 2022}, rounds=1, iterations=1)
+    assert data["custom_gate_preserved"]  # "confirmed in the transpiling process"
+    assert data["duration_ns"] > 90
+    save_results(
+        "fig2_x_schedule",
+        {
+            "duration_samples": data["duration_samples"],
+            "duration_ns": data["duration_ns"],
+            "transpiled_ops": data["transpiled_ops"],
+            "custom_gate_preserved_through_transpile": data["custom_gate_preserved"],
+            "max_drive_amplitude": float(np.max(np.abs(data["samples_real"] + 1j * data["samples_imag"]))),
+            "d0_samples_real_first_32": data["samples_real"][:32],
+        },
+    )

@@ -1,0 +1,29 @@
+"""Fig. 4 — IRB of the custom (162 ns) vs default √X gate + output histogram.
+
+Paper values: custom (2.4 ± 0.8)e-4, default (6.5 ± 1.4)e-4, histogram ≈
+equal superposition of |0⟩ and |1⟩.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig4_sx_irb(benchmark, save_results):
+    data = benchmark.pedantic(figures.fig4_sx_irb, kwargs={"seed": 2022, "fast": True}, rounds=1, iterations=1)
+    assert data["custom_error_rate"] < data["default_error_rate"]
+    p1 = data["histogram_probabilities"].get("1", 0.0)
+    assert 0.35 < p1 < 0.65  # approximately balanced superposition
+    save_results(
+        "fig4_sx_irb",
+        {
+            "lengths": data["custom_lengths"],
+            "custom_interleaved_survival": data["custom_survival"],
+            "default_interleaved_survival": data["default_survival"],
+            "custom_SX_error_rate": data["custom_error_rate"],
+            "custom_SX_error_rate_std": data["custom_error_rate_std"],
+            "default_SX_error_rate": data["default_error_rate"],
+            "default_SX_error_rate_std": data["default_error_rate_std"],
+            "histogram_P1_custom_SX": p1,
+            "paper_custom_error": 2.4e-4,
+            "paper_default_error": 6.5e-4,
+        },
+    )

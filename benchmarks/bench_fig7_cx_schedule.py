@@ -1,0 +1,23 @@
+"""Fig. 7 — the optimized CX pulse schedule (Gaussian-square input) on D0/D1/U0."""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig7_cx_schedule(benchmark, save_results):
+    data = benchmark.pedantic(figures.fig7_cx_schedule, kwargs={"seed": 2022}, rounds=1, iterations=1)
+    assert data["optimization_fid_err"] < 1e-3
+    assert data["duration_ns"] > 1000
+    save_results(
+        "fig7_cx_schedule",
+        {
+            "duration_ns": data["duration_ns"],
+            "duration_samples": data["duration_samples"],
+            "optimizer_infidelity": data["optimization_fid_err"],
+            "d0_peak_amplitude": float(np.max(np.abs(data["d0_samples"]))),
+            "d1_peak_amplitude": float(np.max(np.abs(data["d1_samples"]))),
+            "u0_peak_amplitude": float(np.max(np.abs(data["u0_samples"]))),
+            "u0_samples_first_40": data["u0_samples"][:40],
+        },
+    )

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates the data behind one table or figure of the paper and
+(a) reports the wall time through pytest-benchmark, (b) prints the
+regenerated rows/series, and (c) writes them to
+``benchmarks/results/<name>.txt`` so the numbers are preserved next to the
+timing output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, np.ndarray):
+        return np.array2string(np.asarray(value), precision=5, max_line_width=120)
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def save_results():
+    """Return a callable that persists a bench's regenerated data."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, data: dict | str) -> str:
+        if isinstance(data, str):
+            text = data
+        else:
+            lines = [f"{key}: {_format_value(value)}" for key, value in data.items()]
+            text = "\n".join(lines)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+        return text
+
+    return _save

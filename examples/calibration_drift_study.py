@@ -1,0 +1,50 @@
+"""Calibration-drift study (Section V of the paper).
+
+Compares two strategies over a week of simulated daily recalibrations of the
+device: reusing a pulse optimized once on day 0 versus re-optimizing the
+pulse every day from that day's reported calibration, tracking the exact gate
+error and the output-state histogram per day.
+
+Run with:  python examples/calibration_drift_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_drift_study
+
+
+def main() -> None:
+    result = run_drift_study(
+        gate="x",
+        n_days=5,
+        duration_ns=105.0,
+        n_ts=12,
+        drift_seed=7,
+        seed=2022,
+        histogram_shots=2000,
+    )
+    print(f"drift study for the {result.gate} gate over {result.days.size} days\n")
+    print(f"{'day':>4} {'error (optimize once)':>24} {'error (optimize daily)':>24} "
+          f"{'P1 once':>9} {'P1 daily':>9}")
+    for day in result.days:
+        i = int(day)
+        print(
+            f"{i:>4} {result.channel_error_once[i]:>24.2e} {result.channel_error_daily[i]:>24.2e} "
+            f"{result.histogram_population_once[i]:>9.3f} {result.histogram_population_daily[i]:>9.3f}"
+        )
+    summary = result.summary()
+    print("\nsummary:")
+    for key, value in summary.items():
+        if isinstance(value, float):
+            print(f"  {key:<30} {value:.3e}")
+        else:
+            print(f"  {key:<30} {value}")
+    print(
+        "\nAs in the paper's Section V, the day-to-day fluctuation of the histogram "
+        "populations is dominated by readout drift, while re-optimizing daily keeps the "
+        "coherent part of the gate error from growing with the frequency drift."
+    )
+
+
+if __name__ == "__main__":
+    main()

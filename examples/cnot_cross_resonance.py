@@ -1,0 +1,83 @@
+"""Two-qubit CNOT via cross-resonance pulse optimization (Figs. 6–8).
+
+Optimizes CNOT pulses on the effective cross-resonance Hamiltonian of Eq. (1)
+(control terms XI, IX, ZX), lowers them onto the D0/D1/U0 channels of the
+simulated ibmq_montreal device, and compares against the backend's default
+direct-CR CX through the |11⟩ state-preparation histogram and interleaved RB.
+
+Run with:  python examples/cnot_cross_resonance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import PulseBackend
+from repro.benchmarking import InterleavedRBExperiment
+from repro.circuits.gate import Gate
+from repro.devices import fake_montreal
+from repro.experiments import GateExperimentConfig, gate_histogram, optimize_gate_pulse, pulse_schedule_from_result
+from repro.pulse.calibrations import control_channel_index
+from repro.pulse.channels import ControlChannel, DriveChannel
+from repro.qobj import average_gate_fidelity, cx_gate
+
+
+def main() -> None:
+    props = fake_montreal()
+    backend = PulseBackend(props, calibrated_qubits=[0, 1], seed=5)
+
+    # --- optimize the CNOT pulse (Gaussian-square initial guess, as in Fig. 7) ---
+    config = GateExperimentConfig(
+        gate="cx",
+        qubits=(0, 1),
+        duration_ns=1193.0,
+        n_ts=20,
+        optimizer_levels=2,
+        init_pulse_type="GAUSSIAN_SQUARE",
+        init_pulse_scale=0.1,
+        max_iter=300,
+        seed=2022,
+    )
+    optimization = optimize_gate_pulse(props, config)
+    schedule = pulse_schedule_from_result(props, config, optimization)
+    u_index = control_channel_index(props, 0, 1)
+    print(f"CNOT pulse optimization: infidelity {optimization.fid_err:.2e} in {optimization.n_iter} iterations")
+    print(
+        f"schedule duration {schedule.duration * props.dt:.0f} ns on channels "
+        f"{[ch.name for ch in schedule.channels]} (U{u_index} carries the ZX drive)"
+    )
+
+    # --- exact channel comparison ---
+    custom_channel = backend.simulator.schedule_channel(schedule, qubits=[0, 1])
+    default_channel = backend.gate_channel("cx", (0, 1))
+    custom_err = 1 - average_gate_fidelity(custom_channel, cx_gate())
+    default_err = 1 - average_gate_fidelity(default_channel, cx_gate())
+    print(f"custom CX  channel error: {custom_err:.2e}")
+    print(f"default CX channel error: {default_err:.2e}  (improvement {100 * (1 - custom_err / default_err):.0f}%)")
+
+    # --- |11> preparation histograms (Fig. 6 style) ---
+    for label, cal in (("default", None), ("custom", schedule)):
+        res = gate_histogram(backend, "cx", (0, 1), schedule=cal, shots=4000, seed=3)
+        print(f"{label:>7} CX |11> probability: {res.probability('11'):.3f}   counts {res.get_counts()}")
+
+    # --- interleaved RB (Fig. 8) ---
+    print("running 2-qubit interleaved RB (this takes a minute)...")
+    for label, cal in (("default", None), ("custom", schedule)):
+        irb = InterleavedRBExperiment(
+            backend,
+            Gate.standard("cx"),
+            [0, 1],
+            lengths=(1, 2, 4, 8, 12),
+            n_seeds=3,
+            shots=400,
+            seed=17,
+            custom_calibration=cal,
+        ).run()
+        print(
+            f"{label:>7} CX IRB error per gate: {irb.gate_error:.2e} ± {irb.gate_error_std:.1e} "
+            f"(reference EPC {irb.reference.error_per_clifford:.2e})"
+        )
+
+
+if __name__ == "__main__":
+    main()

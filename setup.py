@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on older toolchains (setuptools < 66 without
+the ``wheel`` package, as found on some offline HPC systems) via the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

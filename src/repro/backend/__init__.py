@@ -1,0 +1,34 @@
+"""Simulated pulse-level backend (the stand-in for the IBM Q hardware).
+
+The paper runs its pulse schedules on real IBM devices through OpenPulse.
+This package provides the equivalent execution target for the reproduction:
+
+* :mod:`~repro.backend.pulse_simulator` — integrates a pulse
+  :class:`~repro.pulse.schedule.Schedule` against the *device view* of the
+  transmon / cross-resonance models (Lindblad master equation with T1/T2,
+  residual detuning, ZZ crosstalk, transmon leakage levels) and returns the
+  implemented quantum channel,
+* :mod:`~repro.backend.noise` — readout confusion matrices and channel
+  embedding helpers,
+* :mod:`~repro.backend.backend` — :class:`PulseBackend`, which owns the
+  default calibrations, caches per-gate channels, executes circuits
+  (density-matrix composition of gate channels) and pulse jobs, and returns
+  shot :class:`~repro.backend.result.Result` objects,
+* :mod:`~repro.backend.result` — counts containers.
+"""
+
+from .result import Result
+from .noise import readout_confusion_matrix, apply_readout_error, embed_channel, depolarizing_superop
+from .pulse_simulator import PulseSimulator, SimulationOptions
+from .backend import PulseBackend
+
+__all__ = [
+    "Result",
+    "readout_confusion_matrix",
+    "apply_readout_error",
+    "embed_channel",
+    "depolarizing_superop",
+    "PulseSimulator",
+    "SimulationOptions",
+    "PulseBackend",
+]

@@ -1,0 +1,35 @@
+"""Randomized benchmarking (RB) and interleaved RB (IRB).
+
+The paper characterizes its pulse-optimized gates with interleaved randomized
+benchmarking, because standard RB in Qiskit cannot interleave custom
+calibrated gates.  This package implements the full stack from scratch:
+
+* :mod:`~repro.benchmarking.clifford` — the single- and two-qubit Clifford
+  groups (24 and 11520 elements) with a native-gate word for every element,
+  uniform sampling, composition and inversion,
+* :mod:`~repro.benchmarking.rb` — standard RB sequence generation and
+  execution against a :class:`~repro.backend.backend.PulseBackend`,
+* :mod:`~repro.benchmarking.fitting` — exponential-decay fitting
+  ``A·α^m + B`` with parameter uncertainties,
+* :mod:`~repro.benchmarking.irb` — the interleaved RB experiment and the
+  Magesan et al. interleaved-gate-error estimator used by Qiskit (and by the
+  paper's Table I).
+"""
+
+from .clifford import CliffordGroup, clifford_group, CliffordElement
+from .fitting import fit_rb_decay, RBDecayFit
+from .rb import RBExperiment, RBResult, rb_circuits
+from .irb import InterleavedRBExperiment, InterleavedRBResult
+
+__all__ = [
+    "CliffordGroup",
+    "CliffordElement",
+    "clifford_group",
+    "fit_rb_decay",
+    "RBDecayFit",
+    "RBExperiment",
+    "RBResult",
+    "rb_circuits",
+    "InterleavedRBExperiment",
+    "InterleavedRBResult",
+]

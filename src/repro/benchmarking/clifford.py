@@ -1,0 +1,223 @@
+"""The single- and two-qubit Clifford groups with native-gate words.
+
+Randomized benchmarking needs to (a) sample Cliffords uniformly, (b) compose
+them, (c) find the inverse of a composed sequence, and (d) express every
+element — including the recovery — as a circuit over the device's native
+gates.
+
+Both groups are built once (and cached) by breadth-first search over a
+generating set (H and S on each qubit, plus CNOTs for two qubits), storing
+for every element a word of generator gates that produces it.  Matrices are
+compared up to global phase via a canonical phase normalization, so the
+search enumerates the Clifford group modulo phase — 24 elements for one
+qubit and 11520 for two qubits, the standard counts.
+
+Generator words found by BFS are short for one qubit (≤ 5 gates, which the
+transpiler then collapses to at most two ``sx`` pulses plus virtual Z) and
+moderate for two qubits (a few CNOTs plus single-qubit gates), which is the
+same order as the hardware-efficient decompositions used by Qiskit's RB.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..qobj.gates import cx_gate, hadamard, s_gate
+from ..utils.seeding import default_rng
+from ..utils.validation import ValidationError
+
+__all__ = ["CliffordElement", "CliffordGroup", "clifford_group"]
+
+#: Expected group orders (modulo phase) used as safety checks.
+_EXPECTED_ORDER = {1: 24, 2: 11520}
+
+
+def _phase_normalize(matrix: np.ndarray, decimals: int = 6) -> bytes:
+    """Canonical byte-key of a unitary up to global phase."""
+    m = np.asarray(matrix, dtype=complex)
+    flat = m.ravel()
+    # first entry with non-negligible magnitude defines the phase reference
+    idx = int(np.argmax(np.abs(flat) > 1e-7))
+    ref = flat[idx]
+    normalized = m * (np.conj(ref) / abs(ref))
+    rounded = np.round(normalized, decimals) + 0.0  # +0.0 kills negative zeros
+    return rounded.tobytes()
+
+
+@dataclass(frozen=True)
+class CliffordElement:
+    """One Clifford group element.
+
+    Attributes
+    ----------
+    index:
+        Position in the group's element table.
+    word:
+        Tuple of ``(gate_name, qubit_indices)`` pairs (local indices 0..n-1)
+        generating the element, in circuit (time) order.
+    matrix:
+        A representative unitary (global phase fixed by the construction).
+    """
+
+    index: int
+    word: tuple[tuple[str, tuple[int, ...]], ...]
+    matrix: np.ndarray
+
+    def __repr__(self) -> str:
+        return f"CliffordElement(index={self.index}, word_len={len(self.word)})"
+
+
+class CliffordGroup:
+    """The n-qubit Clifford group (n = 1 or 2) with native-gate words."""
+
+    def __init__(self, n_qubits: int):
+        if n_qubits not in (1, 2):
+            raise ValidationError(f"CliffordGroup supports 1 or 2 qubits, got {n_qubits}")
+        self.n_qubits = n_qubits
+        self._elements: list[CliffordElement] = []
+        self._key_to_index: dict[bytes, int] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _generators(self) -> list[tuple[tuple[str, tuple[int, ...]], np.ndarray]]:
+        h = hadamard()
+        s = s_gate()
+        if self.n_qubits == 1:
+            return [(("h", (0,)), h), (("s", (0,)), s)]
+        eye = np.eye(2, dtype=complex)
+        gens: list[tuple[tuple[str, tuple[int, ...]], np.ndarray]] = [
+            (("h", (0,)), np.kron(h, eye)),
+            (("h", (1,)), np.kron(eye, h)),
+            (("s", (0,)), np.kron(s, eye)),
+            (("s", (1,)), np.kron(eye, s)),
+            (("cx", (0, 1)), cx_gate()),
+            (("cx", (1, 0)), _cx_reversed()),
+        ]
+        return gens
+
+    def _build(self) -> None:
+        dim = 2**self.n_qubits
+        identity = np.eye(dim, dtype=complex)
+        generators = self._generators()
+        start = CliffordElement(index=0, word=(), matrix=identity)
+        self._elements = [start]
+        self._key_to_index = {_phase_normalize(identity): 0}
+        queue: deque[int] = deque([0])
+        while queue:
+            idx = queue.popleft()
+            base = self._elements[idx]
+            for gate, gen_matrix in generators:
+                new_matrix = gen_matrix @ base.matrix
+                key = _phase_normalize(new_matrix)
+                if key in self._key_to_index:
+                    continue
+                element = CliffordElement(
+                    index=len(self._elements),
+                    word=base.word + (gate,),
+                    matrix=new_matrix,
+                )
+                self._key_to_index[key] = element.index
+                self._elements.append(element)
+                queue.append(element.index)
+        expected = _EXPECTED_ORDER[self.n_qubits]
+        if len(self._elements) != expected:
+            raise ValidationError(
+                f"Clifford group construction produced {len(self._elements)} elements, "
+                f"expected {expected}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def dim(self) -> int:
+        return 2**self.n_qubits
+
+    def element(self, index: int) -> CliffordElement:
+        return self._elements[index]
+
+    @property
+    def identity(self) -> CliffordElement:
+        return self._elements[0]
+
+    def sample(self, rng=None) -> CliffordElement:
+        """Uniformly random group element."""
+        rng = default_rng(rng)
+        return self._elements[int(rng.integers(len(self._elements)))]
+
+    def lookup(self, matrix: np.ndarray) -> CliffordElement:
+        """Find the group element equal to ``matrix`` up to global phase."""
+        key = _phase_normalize(matrix)
+        if key not in self._key_to_index:
+            raise ValidationError("matrix is not an element of the Clifford group")
+        return self._elements[self._key_to_index[key]]
+
+    def contains(self, matrix: np.ndarray) -> bool:
+        """Whether ``matrix`` is a Clifford (up to global phase)."""
+        return _phase_normalize(matrix) in self._key_to_index
+
+    def compose(self, first: CliffordElement, second: CliffordElement) -> CliffordElement:
+        """Group element of ``second ∘ first`` (``first`` applied first)."""
+        return self.lookup(second.matrix @ first.matrix)
+
+    def inverse(self, element: CliffordElement) -> CliffordElement:
+        """The group inverse of ``element``."""
+        return self.lookup(element.matrix.conj().T)
+
+    # ------------------------------------------------------------------ #
+    # circuit output
+    # ------------------------------------------------------------------ #
+    def append_to_circuit(
+        self,
+        circuit: QuantumCircuit,
+        element: CliffordElement,
+        physical_qubits: tuple[int, ...] | list[int],
+    ) -> QuantumCircuit:
+        """Append the element's native-gate word to ``circuit``.
+
+        ``physical_qubits`` maps the element's local qubits 0..n-1 onto the
+        circuit's (physical) qubit indices.
+        """
+        physical = tuple(int(q) for q in physical_qubits)
+        if len(physical) != self.n_qubits:
+            raise ValidationError(
+                f"expected {self.n_qubits} physical qubits, got {len(physical)}"
+            )
+        for name, local_qubits in element.word:
+            mapped = [physical[q] for q in local_qubits]
+            if name == "h":
+                circuit.h(mapped[0])
+            elif name == "s":
+                circuit.s(mapped[0])
+            elif name == "cx":
+                circuit.cx(mapped[0], mapped[1])
+            else:  # pragma: no cover - generators are limited to h/s/cx
+                raise ValidationError(f"unexpected generator gate {name!r}")
+        return circuit
+
+    def average_word_length(self) -> float:
+        """Mean number of generator gates per element (diagnostic)."""
+        return float(np.mean([len(e.word) for e in self._elements]))
+
+
+def _cx_reversed() -> np.ndarray:
+    """CNOT with qubit 1 (least significant factor) as control."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+    )
+
+
+@lru_cache(maxsize=2)
+def clifford_group(n_qubits: int) -> CliffordGroup:
+    """Cached accessor for the 1- or 2-qubit Clifford group."""
+    return CliffordGroup(n_qubits)

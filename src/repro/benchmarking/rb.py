@@ -1,0 +1,318 @@
+"""Standard randomized benchmarking (RB).
+
+An RB experiment samples, for each sequence length ``m`` and each seed, ``m``
+uniformly random Cliffords followed by the recovery Clifford that inverts
+their product, measures the probability of returning to ``|0…0⟩``, and fits
+the decay ``A·α^m + B``.  The error per Clifford is ``(d−1)/d·(1−α)``.
+
+Circuits are generated over the device's native gates (each Clifford's
+generator word, separated by barriers so the transpiler does not merge
+neighbouring Cliffords) and executed on a
+:class:`~repro.backend.backend.PulseBackend`, whose per-gate channels include
+decoherence, leakage, miscalibration and readout error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .clifford import CliffordElement, CliffordGroup, clifford_group
+from .fitting import RBDecayFit, fit_rb_decay
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
+from ..utils.seeding import default_rng, spawn_rngs
+from ..utils.validation import ValidationError
+
+__all__ = ["RBSequence", "rb_circuits", "RBResult", "RBExperiment"]
+
+DEFAULT_LENGTHS_1Q = (1, 4, 16, 48, 96, 160)
+DEFAULT_LENGTHS_2Q = (1, 2, 4, 8, 16, 24)
+
+
+@dataclass
+class RBSequence:
+    """One RB circuit together with its generation metadata."""
+
+    circuit: QuantumCircuit
+    length: int
+    seed_index: int
+    interleaved: bool = False
+    clifford_indices: tuple[int, ...] = ()
+
+
+def _build_sequence_circuit(
+    group: CliffordGroup,
+    elements: Sequence[CliffordElement],
+    physical_qubits: Sequence[int],
+    n_circuit_qubits: int,
+    interleaved_gate: Gate | None,
+    interleaved_qubits: Sequence[int] | None,
+    interleaved_element: CliffordElement | None,
+    name: str,
+) -> tuple[QuantumCircuit, CliffordElement]:
+    """Assemble the circuit and return it with the net Clifford (pre-recovery)."""
+    circuit = QuantumCircuit(n_circuit_qubits, len(physical_qubits), name=name)
+    net = group.identity
+    for element in elements:
+        group.append_to_circuit(circuit, element, physical_qubits)
+        circuit.barrier(*physical_qubits)
+        net = group.compose(net, element)
+        if interleaved_gate is not None:
+            circuit.append(interleaved_gate, tuple(interleaved_qubits))
+            circuit.barrier(*physical_qubits)
+            net = group.compose(net, interleaved_element)
+    recovery = group.inverse(net)
+    group.append_to_circuit(circuit, recovery, physical_qubits)
+    circuit.barrier(*physical_qubits)
+    for clbit, qubit in enumerate(physical_qubits):
+        circuit.measure(qubit, clbit)
+    return circuit, net
+
+
+def rb_circuits(
+    physical_qubits: Sequence[int],
+    lengths: Sequence[int] | None = None,
+    n_seeds: int = 3,
+    seed=None,
+    interleaved_gate: Gate | None = None,
+    interleaved_qubits: Sequence[int] | None = None,
+) -> list[RBSequence]:
+    """Generate standard (and optionally interleaved) RB circuits.
+
+    Parameters
+    ----------
+    physical_qubits:
+        The qubits benchmarked (1 or 2).
+    lengths:
+        Sequence lengths ``m``; defaults depend on the number of qubits.
+    n_seeds:
+        Number of random sequences per length.
+    seed:
+        RNG seed for sequence sampling.
+    interleaved_gate:
+        If given, *additional* interleaved sequences are generated in which
+        this gate (which must be a Clifford) is inserted after every random
+        Clifford.  The gate may carry a custom pulse calibration on the
+        circuit level (added by the caller afterwards via
+        ``QuantumCircuit.add_calibration``) — generation only relies on its
+        ideal unitary.
+    interleaved_qubits:
+        Physical qubits the interleaved gate acts on (defaults to
+        ``physical_qubits``).
+
+    Returns
+    -------
+    list[RBSequence]
+        Standard sequences first, then (if requested) interleaved ones.
+    """
+    physical_qubits = [int(q) for q in physical_qubits]
+    n_qubits = len(physical_qubits)
+    if n_qubits not in (1, 2):
+        raise ValidationError("RB supports 1 or 2 qubits")
+    group = clifford_group(n_qubits)
+    if lengths is None:
+        lengths = DEFAULT_LENGTHS_1Q if n_qubits == 1 else DEFAULT_LENGTHS_2Q
+    lengths = [int(m) for m in lengths]
+    if any(m < 1 for m in lengths):
+        raise ValidationError(f"sequence lengths must be >= 1, got {lengths}")
+    if n_seeds < 1:
+        raise ValidationError(f"n_seeds must be >= 1, got {n_seeds}")
+
+    interleaved_element = None
+    if interleaved_gate is not None:
+        interleaved_qubits = list(interleaved_qubits or physical_qubits)
+        if sorted(interleaved_qubits) != sorted(physical_qubits):
+            raise ValidationError(
+                "interleaved gate must act exactly on the benchmarked qubits"
+            )
+        # locate the gate inside the Clifford group, expressed on local indices
+        local = [physical_qubits.index(q) for q in interleaved_qubits]
+        u = interleaved_gate.unitary()
+        if n_qubits == 2 and local == [1, 0]:
+            # gate listed target-first: permute to local order (q0, q1)
+            swap = np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]])
+            u = swap @ u @ swap
+        if not group.contains(u):
+            raise ValidationError(
+                f"interleaved gate {interleaved_gate.name!r} is not a Clifford"
+            )
+        interleaved_element = group.lookup(u)
+
+    n_circuit_qubits = max(physical_qubits) + 1
+    rngs = spawn_rngs(seed, n_seeds)
+    sequences: list[RBSequence] = []
+    sampled: dict[tuple[int, int], list[CliffordElement]] = {}
+    for seed_index, rng in enumerate(rngs):
+        for m in lengths:
+            elements = [group.sample(rng) for _ in range(m)]
+            sampled[(seed_index, m)] = elements
+            circuit, _ = _build_sequence_circuit(
+                group,
+                elements,
+                physical_qubits,
+                n_circuit_qubits,
+                None,
+                None,
+                None,
+                name=f"rb_m{m}_s{seed_index}",
+            )
+            sequences.append(
+                RBSequence(
+                    circuit=circuit,
+                    length=m,
+                    seed_index=seed_index,
+                    interleaved=False,
+                    clifford_indices=tuple(e.index for e in elements),
+                )
+            )
+    if interleaved_gate is not None:
+        for seed_index in range(n_seeds):
+            for m in lengths:
+                elements = sampled[(seed_index, m)]
+                circuit, _ = _build_sequence_circuit(
+                    group,
+                    elements,
+                    physical_qubits,
+                    n_circuit_qubits,
+                    interleaved_gate,
+                    interleaved_qubits,
+                    interleaved_element,
+                    name=f"irb_m{m}_s{seed_index}",
+                )
+                sequences.append(
+                    RBSequence(
+                        circuit=circuit,
+                        length=m,
+                        seed_index=seed_index,
+                        interleaved=True,
+                        clifford_indices=tuple(e.index for e in elements),
+                    )
+                )
+    return sequences
+
+
+@dataclass
+class RBResult:
+    """Outcome of a standard RB experiment."""
+
+    lengths: np.ndarray
+    survival_mean: np.ndarray
+    survival_std: np.ndarray
+    fit: RBDecayFit
+    n_qubits: int
+    per_sequence: list[tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def alpha(self) -> float:
+        return self.fit.alpha
+
+    @property
+    def alpha_err(self) -> float:
+        return self.fit.alpha_err
+
+    @property
+    def error_per_clifford(self) -> float:
+        return self.fit.error_per_clifford(self.n_qubits)[0]
+
+    @property
+    def error_per_clifford_err(self) -> float:
+        return self.fit.error_per_clifford(self.n_qubits)[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"RBResult(alpha={self.alpha:.5f}±{self.alpha_err:.5f}, "
+            f"EPC={self.error_per_clifford:.2e}±{self.error_per_clifford_err:.2e})"
+        )
+
+
+class RBExperiment:
+    """Standard randomized benchmarking against a pulse backend."""
+
+    def __init__(
+        self,
+        backend,
+        physical_qubits: Sequence[int],
+        lengths: Sequence[int] | None = None,
+        n_seeds: int = 3,
+        shots: int = 512,
+        seed=None,
+    ):
+        self.backend = backend
+        self.physical_qubits = [int(q) for q in physical_qubits]
+        self.n_qubits = len(self.physical_qubits)
+        self.lengths = list(
+            lengths
+            if lengths is not None
+            else (DEFAULT_LENGTHS_1Q if self.n_qubits == 1 else DEFAULT_LENGTHS_2Q)
+        )
+        self.n_seeds = int(n_seeds)
+        self.shots = int(shots)
+        self.seed = seed
+
+    def circuits(self) -> list[RBSequence]:
+        return rb_circuits(
+            self.physical_qubits, self.lengths, self.n_seeds, seed=self.seed
+        )
+
+    def run(self, calibrations: dict[tuple[str, tuple[int, ...]], object] | None = None) -> RBResult:
+        """Execute the experiment and fit the decay.
+
+        ``calibrations`` (gate name, physical qubits) → pulse Schedule are
+        attached to every circuit, so RB can also be run entirely with custom
+        pulses if desired.
+        """
+        sequences = self.circuits()
+        return execute_rb_sequences(
+            self.backend,
+            [s for s in sequences if not s.interleaved],
+            self.n_qubits,
+            self.shots,
+            calibrations=calibrations,
+            seed=self.seed,
+        )
+
+
+def execute_rb_sequences(
+    backend,
+    sequences: list[RBSequence],
+    n_qubits: int,
+    shots: int,
+    calibrations: dict[tuple[str, tuple[int, ...]], object] | None = None,
+    seed=None,
+    fixed_asymptote: float | None = None,
+) -> RBResult:
+    """Run RB sequences on a backend and fit the survival decay."""
+    if not sequences:
+        raise ValidationError("no RB sequences to execute")
+    rng = default_rng(seed)
+    per_length: dict[int, list[float]] = {}
+    per_sequence: list[tuple[int, int, float]] = []
+    for seq in sequences:
+        circuit = seq.circuit
+        if calibrations:
+            for (name, qubits), sched in calibrations.items():
+                circuit.add_calibration(name, qubits, sched)
+        result = backend.run(circuit, shots=shots, seed=int(rng.integers(2**31 - 1)))
+        survival = result.ground_state_population()
+        per_length.setdefault(seq.length, []).append(survival)
+        per_sequence.append((seq.length, seq.seed_index, survival))
+    lengths = np.array(sorted(per_length), dtype=float)
+    means = np.array([np.mean(per_length[int(m)]) for m in lengths])
+    stds = np.array([np.std(per_length[int(m)]) for m in lengths])
+    fit = fit_rb_decay(
+        lengths,
+        means,
+        survival_stds=stds if np.all(stds > 0) else None,
+        p_asymptote=fixed_asymptote,
+    )
+    return RBResult(
+        lengths=lengths,
+        survival_mean=means,
+        survival_std=stds,
+        fit=fit,
+        n_qubits=n_qubits,
+        per_sequence=per_sequence,
+    )

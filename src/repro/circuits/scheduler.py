@@ -1,0 +1,135 @@
+"""Lowering of transpiled circuits to pulse schedules.
+
+:func:`schedule_circuit` walks a transpiled circuit and emits a
+:class:`~repro.pulse.schedule.Schedule`:
+
+* ``rz(λ)`` becomes a zero-duration ``ShiftPhase(-λ)`` on the qubit's drive
+  channel (a *virtual Z*, error-free and instantaneous, exactly as on IBM
+  hardware),
+* ``x``, ``sx``, ``cx`` and any custom gate are looked up first in the
+  circuit's own calibrations (``QuantumCircuit.add_calibration`` — how the
+  paper's optimized pulses enter), then in the backend's default
+  :class:`~repro.pulse.instruction_schedule_map.InstructionScheduleMap`,
+* ``barrier`` aligns the involved channels,
+* measurements are collected and appended at the end of the schedule (the
+  paper's circuits measure once, at the end).
+
+The returned schedule, together with the list of measured qubits, is what
+:class:`repro.backend.PulseBackend` executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gate import Barrier, Gate, Measurement
+from ..pulse.channels import DriveChannel
+from ..pulse.instruction_schedule_map import InstructionScheduleMap
+from ..pulse.instructions import Delay, ShiftPhase
+from ..pulse.schedule import Schedule
+from ..utils.validation import ValidationError
+
+__all__ = ["schedule_circuit", "ScheduleError", "ScheduledCircuit"]
+
+
+class ScheduleError(ValidationError):
+    """Raised when a circuit instruction has no pulse implementation."""
+
+
+@dataclass
+class ScheduledCircuit:
+    """A lowered circuit: the pulse schedule plus measurement metadata."""
+
+    schedule: Schedule
+    measured_qubits: list[tuple[int, int]] = field(default_factory=list)
+    name: str = "scheduled_circuit"
+
+    @property
+    def duration(self) -> int:
+        return self.schedule.duration
+
+
+def _gate_schedule(
+    circuit: QuantumCircuit,
+    ism: InstructionScheduleMap | None,
+    gate: Gate,
+    qubits: tuple[int, ...],
+) -> Schedule:
+    key = (gate.name, qubits)
+    if key in circuit.calibrations:
+        sched = circuit.calibrations[key]
+        if not isinstance(sched, Schedule):
+            raise ScheduleError(f"calibration for {key} is not a Schedule")
+        return sched
+    if ism is not None and ism.has(gate.name, qubits):
+        return ism.get(gate.name, qubits)
+    raise ScheduleError(
+        f"no calibration found for gate {gate.name!r} on qubits {qubits}; "
+        "add one with QuantumCircuit.add_calibration or provide a backend "
+        "instruction schedule map containing it"
+    )
+
+
+def schedule_circuit(
+    circuit: QuantumCircuit,
+    instruction_schedule_map: InstructionScheduleMap | None = None,
+    name: str | None = None,
+) -> ScheduledCircuit:
+    """Lower a transpiled circuit to a pulse schedule.
+
+    Parameters
+    ----------
+    circuit:
+        A circuit containing only gates with pulse calibrations (``x``,
+        ``sx``, ``cx``, custom gates), virtual ``rz``/``id``, barriers and
+        terminal measurements.
+    instruction_schedule_map:
+        The backend's default calibrations; entries in
+        ``circuit.calibrations`` take precedence.
+    """
+    sched = Schedule(name=name or f"{circuit.name}_schedule")
+    measured: list[tuple[int, int]] = []
+    for inst in circuit.data:
+        op = inst.operation
+        if isinstance(op, Barrier):
+            # align: pad all known channels of involved qubits to the same time
+            frontier = max(
+                (sched.channel_duration(DriveChannel(q)) for q in inst.qubits), default=0
+            )
+            frontier = max(frontier, sched.duration if len(inst.qubits) == circuit.n_qubits else frontier)
+            for q in inst.qubits:
+                ch = DriveChannel(q)
+                pad = frontier - sched.channel_duration(ch)
+                if pad > 0:
+                    sched.append(Delay(pad, ch))
+            continue
+        if isinstance(op, Measurement):
+            measured.append((inst.qubits[0], inst.clbits[0]))
+            continue
+        assert isinstance(op, Gate)
+        qubits = inst.qubits
+        if op.name in ("id", "delay"):
+            continue
+        if op.name == "rz":
+            (lam,) = op.params
+            sched.append(ShiftPhase(-float(lam), DriveChannel(qubits[0])))
+            continue
+        if op.name in ("z", "s", "sdg", "t", "tdg", "p", "phase"):
+            # other pure-Z gates are also virtual
+            angle = {
+                "z": np.pi,
+                "s": np.pi / 2.0,
+                "sdg": -np.pi / 2.0,
+                "t": np.pi / 4.0,
+                "tdg": -np.pi / 4.0,
+            }.get(op.name)
+            if angle is None:
+                (angle,) = op.params
+            sched.append(ShiftPhase(-float(angle), DriveChannel(qubits[0])))
+            continue
+        gate_sched = _gate_schedule(circuit, instruction_schedule_map, op, qubits)
+        sched.append(gate_sched)
+    return ScheduledCircuit(schedule=sched, measured_qubits=measured, name=circuit.name)

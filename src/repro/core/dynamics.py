@@ -1,0 +1,118 @@
+"""Evolution bookkeeping shared by the gradient-based optimizers.
+
+GRAPE needs, for a given set of piecewise-constant control amplitudes,
+
+* the per-slot generators and propagators,
+* the forward partial products ``F_k = U_k … U_1 U_0`` and backward partial
+  products ``B_k = U_{N-1} … U_{k+1}``,
+
+for both closed (unitary) and open (Lindblad superoperator) dynamics.  These
+are assembled here once per cost evaluation and reused by the gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.linalg as la
+
+from ..qobj.qobj import qobj_to_array
+from ..qobj.superop import liouvillian, spost, spre
+from ..solvers.expm_utils import expm_unitary_step, expm_general
+from ..solvers.propagator import assemble_pwc_hamiltonians, pwc_cumulative_propagators
+from ..utils.validation import ValidationError
+
+__all__ = ["ClosedEvolution", "OpenEvolution", "closed_evolution", "open_evolution"]
+
+
+@dataclass
+class ClosedEvolution:
+    """Closed-system PWC evolution data."""
+
+    h_slots: np.ndarray  # (N, d, d)
+    steps: np.ndarray  # (N, d, d) slot propagators
+    forward: np.ndarray  # (N, d, d) cumulative products
+    backward: np.ndarray  # (N, d, d)
+    dt: float
+
+    @property
+    def final(self) -> np.ndarray:
+        """Total propagator of the pulse."""
+        return self.forward[-1]
+
+    def pre_step_propagator(self, k: int) -> np.ndarray:
+        """``F_{k-1}`` (identity for ``k = 0``)."""
+        if k == 0:
+            return np.eye(self.steps.shape[-1], dtype=complex)
+        return self.forward[k - 1]
+
+
+@dataclass
+class OpenEvolution:
+    """Open-system (Lindblad superoperator) PWC evolution data."""
+
+    generators: np.ndarray  # (N, d^2, d^2) slot Liouvillians (times dt NOT applied)
+    steps: np.ndarray  # (N, d^2, d^2) slot propagators exp(L dt)
+    forward: np.ndarray
+    backward: np.ndarray
+    control_generators: list[np.ndarray]  # dL/du_j  (constant over slots)
+    dt: float
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.forward[-1]
+
+    def pre_step_propagator(self, k: int) -> np.ndarray:
+        if k == 0:
+            return np.eye(self.steps.shape[-1], dtype=complex)
+        return self.forward[k - 1]
+
+
+def closed_evolution(
+    drift,
+    controls: Sequence,
+    amplitudes: np.ndarray,
+    dt: float,
+) -> ClosedEvolution:
+    """Assemble closed-system slot propagators and partial products."""
+    if dt <= 0:
+        raise ValidationError(f"dt must be > 0, got {dt}")
+    h_slots = assemble_pwc_hamiltonians(qobj_to_array(drift), [qobj_to_array(c) for c in controls], amplitudes)
+    steps = np.stack([expm_unitary_step(h, dt) for h in h_slots])
+    forward, backward = pwc_cumulative_propagators(steps)
+    return ClosedEvolution(h_slots=h_slots, steps=steps, forward=forward, backward=backward, dt=float(dt))
+
+
+def open_evolution(
+    drift,
+    controls: Sequence,
+    amplitudes: np.ndarray,
+    dt: float,
+    c_ops: Sequence,
+) -> OpenEvolution:
+    """Assemble open-system slot propagators and partial products.
+
+    The slot Liouvillian is ``L_k = -i[H_k, ·] + D`` with ``D`` the (slot
+    independent) dissipator built from the collapse operators.
+    """
+    if dt <= 0:
+        raise ValidationError(f"dt must be > 0, got {dt}")
+    drift_arr = qobj_to_array(drift)
+    ctrl_arrs = [qobj_to_array(c) for c in controls]
+    h_slots = assemble_pwc_hamiltonians(drift_arr, ctrl_arrs, amplitudes)
+    d = drift_arr.shape[0]
+    diss = liouvillian(np.zeros((d, d), dtype=complex), [qobj_to_array(c) for c in c_ops]) if c_ops else 0.0
+    generators = np.stack([liouvillian(h, None) + diss for h in h_slots])
+    steps = np.stack([expm_general(g * dt) for g in generators])
+    forward, backward = pwc_cumulative_propagators(steps)
+    control_generators = [-1j * (spre(hj) - spost(hj)) for hj in ctrl_arrs]
+    return OpenEvolution(
+        generators=generators,
+        steps=steps,
+        forward=forward,
+        backward=backward,
+        control_generators=control_generators,
+        dt=float(dt),
+    )

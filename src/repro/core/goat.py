@@ -1,0 +1,177 @@
+"""GOAT-style gradient optimization of analytic controls.
+
+GOAT (Machnes et al. 2018 — the paper's reference [8]) optimizes a small set
+of parameters of *analytic* control functions using exact gradients.  Here
+the analytic ansatz is a Fourier sine series under a boundary window,
+
+    u_j(t; θ) = s(t) · Σ_n θ_{jn} sin(n π t / T),        s(t) = sin(π t / T),
+
+and the gradient with respect to θ is obtained by the chain rule through the
+piecewise-constant discretization:
+
+    ∂C/∂θ_{jn} = Σ_k (∂C/∂u_{jk}) · (∂u_{jk}/∂θ_{jn}),
+
+where ``∂C/∂u_{jk}`` is the exact GRAPE gradient on a fine time grid and
+``∂u_{jk}/∂θ_{jn}`` is the analytic basis function evaluated at the slot
+midpoint.  This "discretized GOAT" retains the low-dimensional smooth
+parametrization that is GOAT's practical advantage while sharing the
+well-tested propagator machinery of GRAPE (the original formulation
+integrates coupled propagator/sensitivity ODEs instead; the difference is
+O(dt²) for the grids used here).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .grape import evolution_operator, grape_cost_and_gradient
+from .parametrization import TimeGrid, clip_amplitudes
+from .result import OptimResult
+from ..utils.seeding import default_rng
+from ..utils.validation import ValidationError
+
+__all__ = ["FourierAnsatz", "optimize_goat"]
+
+
+@dataclass
+class FourierAnsatz:
+    """Windowed Fourier-sine control ansatz.
+
+    ``amplitudes(theta)`` returns the PWC samples of shape
+    ``(n_ctrls, n_ts)``; ``basis`` has shape ``(n_ctrls, n_modes, n_ts)`` and
+    is also ``∂u/∂θ``.
+    """
+
+    n_ctrls: int
+    n_modes: int
+    grid: TimeGrid
+
+    def __post_init__(self):
+        if self.n_ctrls < 1 or self.n_modes < 1:
+            raise ValidationError("n_ctrls and n_modes must be >= 1")
+        t = self.grid.midpoints
+        total = self.grid.evo_time
+        window = np.sin(np.pi * t / total)
+        modes = np.arange(1, self.n_modes + 1)
+        basis_1ctrl = window[None, :] * np.sin(np.pi * modes[:, None] * t[None, :] / total)
+        self.basis = np.broadcast_to(basis_1ctrl, (self.n_ctrls, self.n_modes, self.grid.n_ts)).copy()
+
+    @property
+    def n_params(self) -> int:
+        return self.n_ctrls * self.n_modes
+
+    def amplitudes(self, theta: np.ndarray) -> np.ndarray:
+        coeffs = np.asarray(theta, dtype=float).reshape(self.n_ctrls, self.n_modes)
+        return np.einsum("jn,jnt->jt", coeffs, self.basis)
+
+    def chain_rule(self, grad_amps: np.ndarray) -> np.ndarray:
+        """Map a gradient w.r.t. PWC amplitudes onto the ansatz parameters."""
+        return np.einsum("jt,jnt->jn", grad_amps, self.basis).reshape(-1)
+
+
+def optimize_goat(
+    drift,
+    controls: Sequence,
+    u_target: np.ndarray,
+    n_ts: int,
+    evo_time: float,
+    c_ops: Sequence | None = None,
+    subspace_dim: int | None = None,
+    n_modes: int = 4,
+    amp_lbound: float | None = -1.0,
+    amp_ubound: float | None = 1.0,
+    fid_err_targ: float = 1e-10,
+    max_iter: int = 300,
+    max_wall_time: float = 120.0,
+    initial_theta: np.ndarray | None = None,
+    seed=None,
+) -> OptimResult:
+    """Optimize the Fourier-ansatz parameters with L-BFGS-B and exact gradients."""
+    grid = TimeGrid(n_ts=n_ts, evo_time=evo_time)
+    ansatz = FourierAnsatz(n_ctrls=len(controls), n_modes=n_modes, grid=grid)
+    rng = default_rng(seed)
+    theta0 = (
+        np.asarray(initial_theta, dtype=float).reshape(-1)
+        if initial_theta is not None
+        else rng.normal(0.0, 0.1, size=ansatz.n_params)
+    )
+    if theta0.size != ansatz.n_params:
+        raise ValidationError(
+            f"initial_theta must have {ansatz.n_params} entries, got {theta0.size}"
+        )
+    dt = grid.dt
+    start = time.perf_counter()
+    history: list[float] = []
+    best = {"cost": np.inf, "theta": theta0.copy()}
+    n_fun = 0
+
+    def fun(theta: np.ndarray) -> tuple[float, np.ndarray]:
+        nonlocal n_fun
+        n_fun += 1
+        amps = clip_amplitudes(ansatz.amplitudes(theta), amp_lbound, amp_ubound)
+        cost, grad_amps = grape_cost_and_gradient(
+            drift, controls, amps, dt, u_target, c_ops=c_ops, gradient="exact",
+            subspace_dim=subspace_dim,
+        )
+        if cost < best["cost"]:
+            best["cost"] = cost
+            best["theta"] = np.array(theta, dtype=float)
+        return cost, ansatz.chain_rule(grad_amps)
+
+    class _Stop(Exception):
+        pass
+
+    def callback(theta: np.ndarray) -> None:
+        history.append(best["cost"])
+        if best["cost"] <= fid_err_targ or time.perf_counter() - start > max_wall_time:
+            raise _Stop
+
+    reason = "L-BFGS-B converged"
+    try:
+        res = minimize(
+            fun,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            callback=callback,
+            options={"maxiter": max_iter, "ftol": 1e-14, "gtol": 1e-12},
+        )
+        n_iter = int(res.nit)
+        if not res.success:
+            reason = f"L-BFGS-B stopped: {res.message}"
+    except _Stop:
+        n_iter = len(history)
+        reason = (
+            "target fidelity error reached" if best["cost"] <= fid_err_targ else "wall time exceeded"
+        )
+
+    theta_best = best["theta"]
+    final_amps = clip_amplitudes(ansatz.amplitudes(theta_best), amp_lbound, amp_ubound)
+    final_cost, _ = grape_cost_and_gradient(
+        drift, controls, final_amps, dt, u_target, c_ops=c_ops, gradient="exact",
+        subspace_dim=subspace_dim,
+    )
+    if not history or history[-1] != final_cost:
+        history.append(float(final_cost))
+    wall = time.perf_counter() - start
+    return OptimResult(
+        initial_amps=ansatz.amplitudes(theta0),
+        final_amps=final_amps,
+        fid_err=float(final_cost),
+        fid_err_history=[float(h) for h in history],
+        n_iter=n_iter,
+        n_fun_evals=n_fun,
+        termination_reason=reason,
+        evo_time=evo_time,
+        n_ts=n_ts,
+        dt=dt,
+        final_operator=evolution_operator(drift, controls, final_amps, dt, c_ops),
+        method="GOAT",
+        wall_time=wall,
+        metadata={"theta": theta_best, "n_modes": n_modes},
+    )

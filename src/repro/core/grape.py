@@ -1,0 +1,302 @@
+"""GRAPE: gradient computation and first-order gradient-descent optimizer.
+
+GRAPE (GRadient Ascent Pulse Engineering, Khaneja et al. 2005) parametrizes
+each control as piecewise constant and follows the gradient of the gate
+infidelity with respect to every slot amplitude.  Two gradient flavours are
+provided:
+
+* ``"exact"`` — the Fréchet derivative of each slot propagator computed from
+  the spectral (divided-difference) formula for Hermitian generators, and
+  ``scipy.linalg.expm_frechet`` for open-system Liouvillians,
+* ``"approx"`` — the standard first-order approximation
+  ``dU_k/du ≈ -i dt H_j U_k`` (cheaper, accurate for small ``dt``).
+
+The plain-GRAPE optimizer in :class:`GrapeOptimizer` performs steepest
+descent with backtracking line search — this is the "converges very slowly"
+baseline of Section II; the production path is the L-BFGS-B driver in
+:mod:`repro.core.lbfgs` that consumes the same cost/gradient function.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.linalg as la
+
+from .cost import psu_overlap, superop_process_infidelity, unitary_psu_infidelity, unitary_su_infidelity
+from .dynamics import closed_evolution, open_evolution
+from .parametrization import clip_amplitudes
+from .result import OptimResult
+from ..qobj.qobj import qobj_to_array
+from ..qobj.superop import unitary_superop
+from ..solvers.expm_utils import expm_frechet_hermitian_multi
+from ..utils.validation import ValidationError
+
+__all__ = ["grape_cost_and_gradient", "GrapeOptimizer"]
+
+
+def _closed_cost_and_gradient(
+    drift,
+    controls: Sequence,
+    amps: np.ndarray,
+    dt: float,
+    u_target: np.ndarray,
+    phase_option: str,
+    gradient: str,
+    subspace_dim: int | None = None,
+) -> tuple[float, np.ndarray]:
+    evo = closed_evolution(drift, controls, amps, dt)
+    n_ctrls, n_ts = amps.shape
+    u_target = qobj_to_array(u_target)
+    u_final = evo.final
+    if subspace_dim is None:
+        d = u_target.shape[0]
+        ut_dag = u_target.conj().T
+    else:
+        # Leakage-aware cost: the overlap is evaluated on the computational
+        # subspace only, so any population leaking to higher transmon levels
+        # directly reduces |f| and is penalized.
+        d = int(subspace_dim)
+        ut_dag = np.zeros_like(u_target)
+        ut_dag[:d, :d] = u_target[:d, :d].conj().T
+    f = complex(np.trace(ut_dag @ u_final) / d)
+    if phase_option == "PSU":
+        cost = 1.0 - abs(f) ** 2
+    elif phase_option == "SU":
+        cost = 1.0 - np.real(f)
+    else:
+        raise ValidationError(f"phase_option must be 'PSU' or 'SU', got {phase_option!r}")
+
+    ctrl_arrs = [qobj_to_array(c) for c in controls]
+    grad = np.zeros((n_ctrls, n_ts))
+    for k in range(n_ts):
+        left = ut_dag @ evo.backward[k]  # U_t† B_k
+        right = evo.pre_step_propagator(k)  # F_{k-1}
+        if gradient == "exact":
+            _, dus = expm_frechet_hermitian_multi(evo.h_slots[k], ctrl_arrs, dt)
+        elif gradient == "approx":
+            dus = [(-1j * dt) * (hj @ evo.steps[k]) for hj in ctrl_arrs]
+        else:
+            raise ValidationError(f"gradient must be 'exact' or 'approx', got {gradient!r}")
+        for j, du in enumerate(dus):
+            df = np.trace(left @ du @ right) / d
+            if phase_option == "PSU":
+                grad[j, k] = -2.0 * np.real(np.conj(f) * df)
+            else:
+                grad[j, k] = -np.real(df)
+    return float(cost), grad
+
+
+def _open_cost_and_gradient(
+    drift,
+    controls: Sequence,
+    amps: np.ndarray,
+    dt: float,
+    u_target: np.ndarray,
+    c_ops: Sequence,
+    gradient: str,
+    subspace_dim: int | None = None,
+) -> tuple[float, np.ndarray]:
+    evo = open_evolution(drift, controls, amps, dt, c_ops)
+    n_ctrls, n_ts = amps.shape
+    u_target = qobj_to_array(u_target)
+    s_final = evo.final
+    if subspace_dim is None:
+        d = u_target.shape[0]
+        st_dag = unitary_superop(u_target).conj().T
+    else:
+        # Subspace process fidelity: project the channel onto the
+        # computational block before comparing against the target.
+        d = int(subspace_dim)
+        levels = u_target.shape[0]
+        proj = np.zeros((d, levels), dtype=complex)
+        proj[:d, :d] = np.eye(d)
+        lift = np.kron(proj.T, proj.conj().T)
+        drop = np.kron(proj.conj(), proj)
+        s_target_sub = unitary_superop(u_target[:d, :d])
+        st_dag = lift @ s_target_sub.conj().T @ drop
+    cost = 1.0 - float(np.real(np.trace(st_dag @ s_final)) / d**2)
+
+    grad = np.zeros((n_ctrls, n_ts))
+    for k in range(n_ts):
+        left = st_dag @ evo.backward[k]
+        right = evo.pre_step_propagator(k)
+        for j, dl in enumerate(evo.control_generators):
+            if gradient == "exact":
+                _, ds = la.expm_frechet(evo.generators[k] * dt, dl * dt, compute_expm=True)
+            elif gradient == "approx":
+                ds = dt * (dl @ evo.steps[k])
+            else:
+                raise ValidationError(f"gradient must be 'exact' or 'approx', got {gradient!r}")
+            dval = np.real(np.trace(left @ ds @ right)) / d**2
+            grad[j, k] = -dval
+    return float(cost), grad
+
+
+def grape_cost_and_gradient(
+    drift,
+    controls: Sequence,
+    amps: np.ndarray,
+    dt: float,
+    u_target: np.ndarray,
+    c_ops: Sequence | None = None,
+    phase_option: str = "PSU",
+    gradient: str = "exact",
+    subspace_dim: int | None = None,
+) -> tuple[float, np.ndarray]:
+    """Gate infidelity and its gradient with respect to the PWC amplitudes.
+
+    Parameters
+    ----------
+    drift, controls:
+        Drift and control Hamiltonians.
+    amps:
+        Control amplitudes, shape ``(n_ctrls, n_ts)``.
+    dt:
+        Slot duration.
+    u_target:
+        Target unitary (on the same Hilbert space as the Hamiltonians).
+    c_ops:
+        Collapse operators; if given, the evolution is open (Lindblad) and
+        the cost is the process infidelity.
+    phase_option:
+        ``"PSU"`` (phase-insensitive, the paper's choice) or ``"SU"``.
+    gradient:
+        ``"exact"`` or ``"approx"`` (see module docstring).
+    subspace_dim:
+        If given (e.g. 2 for a qubit gate optimized on a 3-level transmon),
+        the fidelity is evaluated on the leading ``subspace_dim × subspace_dim``
+        computational block of the target/evolution, which makes leakage out
+        of that block a first-class part of the cost.
+
+    Returns
+    -------
+    (cost, gradient) with ``gradient.shape == amps.shape``.
+    """
+    amps = np.asarray(amps, dtype=float)
+    if amps.ndim != 2:
+        raise ValidationError(f"amps must be 2-D (n_ctrls, n_ts), got shape {amps.shape}")
+    if len(controls) != amps.shape[0]:
+        raise ValidationError(
+            f"number of controls ({len(controls)}) must match amps rows ({amps.shape[0]})"
+        )
+    if c_ops:
+        return _open_cost_and_gradient(
+            drift, controls, amps, dt, u_target, c_ops, gradient, subspace_dim=subspace_dim
+        )
+    return _closed_cost_and_gradient(
+        drift, controls, amps, dt, u_target, phase_option, gradient, subspace_dim=subspace_dim
+    )
+
+
+def evolution_operator(drift, controls, amps, dt, c_ops=None) -> np.ndarray:
+    """Final evolution operator (unitary or superoperator) of a pulse."""
+    amps = np.asarray(amps, dtype=float)
+    if c_ops:
+        return open_evolution(drift, controls, amps, dt, c_ops).final
+    return closed_evolution(drift, controls, amps, dt).final
+
+
+@dataclass
+class GrapeOptimizer:
+    """Plain first-order GRAPE: steepest descent with backtracking line search.
+
+    This is deliberately the slow baseline the paper contrasts against
+    L-BFGS-B; it shares the exact cost/gradient code with the L-BFGS driver,
+    so benchmark comparisons isolate the update rule.
+    """
+
+    drift: np.ndarray
+    controls: Sequence
+    u_target: np.ndarray
+    dt: float
+    c_ops: Sequence | None = None
+    phase_option: str = "PSU"
+    gradient: str = "exact"
+    subspace_dim: int | None = None
+    amp_lbound: float | None = -1.0
+    amp_ubound: float | None = 1.0
+    initial_step: float = 0.5
+    backtrack_factor: float = 0.5
+    max_backtracks: int = 12
+
+    def optimize(
+        self,
+        initial_amps: np.ndarray,
+        fid_err_targ: float = 1e-10,
+        max_iter: int = 500,
+        max_wall_time: float = 60.0,
+        gradient_tol: float = 1e-10,
+    ) -> OptimResult:
+        start = time.perf_counter()
+        amps = clip_amplitudes(np.array(initial_amps, dtype=float), self.amp_lbound, self.amp_ubound)
+        cost, grad = self._cost_grad(amps)
+        history = [cost]
+        n_fun = 1
+        n_iter = 0
+        reason = "maximum iterations reached"
+        step = self.initial_step
+        while n_iter < max_iter:
+            if cost <= fid_err_targ:
+                reason = "target fidelity error reached"
+                break
+            if time.perf_counter() - start > max_wall_time:
+                reason = "wall time exceeded"
+                break
+            grad_norm = float(np.linalg.norm(grad))
+            if grad_norm < gradient_tol:
+                reason = "gradient norm below tolerance"
+                break
+            # backtracking line search along the negative gradient
+            improved = False
+            trial_step = step
+            for _ in range(self.max_backtracks):
+                trial = clip_amplitudes(amps - trial_step * grad, self.amp_lbound, self.amp_ubound)
+                trial_cost, trial_grad = self._cost_grad(trial)
+                n_fun += 1
+                if trial_cost < cost:
+                    amps, cost, grad = trial, trial_cost, trial_grad
+                    improved = True
+                    step = trial_step * 1.5  # gentle growth after success
+                    break
+                trial_step *= self.backtrack_factor
+            n_iter += 1
+            history.append(cost)
+            if not improved:
+                reason = "line search failed to improve the cost"
+                break
+        else:
+            history.append(cost)
+        wall = time.perf_counter() - start
+        final_op = evolution_operator(self.drift, self.controls, amps, self.dt, self.c_ops)
+        return OptimResult(
+            initial_amps=np.array(initial_amps, dtype=float),
+            final_amps=amps,
+            fid_err=float(cost),
+            fid_err_history=[float(h) for h in history],
+            n_iter=n_iter,
+            n_fun_evals=n_fun,
+            termination_reason=reason,
+            evo_time=self.dt * amps.shape[1],
+            n_ts=amps.shape[1],
+            dt=self.dt,
+            final_operator=final_op,
+            method="GRAPE",
+            wall_time=wall,
+        )
+
+    def _cost_grad(self, amps: np.ndarray) -> tuple[float, np.ndarray]:
+        return grape_cost_and_gradient(
+            self.drift,
+            self.controls,
+            amps,
+            self.dt,
+            self.u_target,
+            c_ops=self.c_ops,
+            phase_option=self.phase_option,
+            gradient=self.gradient,
+            subspace_dim=self.subspace_dim,
+        )

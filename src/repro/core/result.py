@@ -1,0 +1,77 @@
+"""Optimization result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["OptimResult"]
+
+
+@dataclass
+class OptimResult:
+    """Result of a pulse optimization.
+
+    Attributes
+    ----------
+    initial_amps / final_amps:
+        Control amplitudes of shape ``(n_ctrls, n_ts)`` before and after
+        optimization.
+    fid_err:
+        Final value of the cost (gate infidelity).
+    fid_err_history:
+        Cost value after every accepted iteration (including the initial
+        one), useful for convergence plots and the optimizer-comparison
+        benchmark.
+    n_iter:
+        Number of optimizer iterations performed.
+    n_fun_evals:
+        Number of cost-function evaluations.
+    termination_reason:
+        Human-readable reason the optimizer stopped.
+    evo_time / n_ts / dt:
+        The PWC time grid of the pulse.
+    final_operator:
+        The evolution operator achieved by the final pulse (unitary for
+        closed-system optimization, superoperator for open-system).
+    method:
+        Optimizer name (``LBFGS``, ``GRAPE``, ``SPSA``, ``CRAB``, ``KROTOV``,
+        ``GOAT``).
+    wall_time:
+        Wall-clock seconds spent in the optimizer.
+    metadata:
+        Free-form extras (e.g. the analytic-ansatz coefficients for GOAT).
+    """
+
+    initial_amps: np.ndarray
+    final_amps: np.ndarray
+    fid_err: float
+    fid_err_history: list[float]
+    n_iter: int
+    n_fun_evals: int
+    termination_reason: str
+    evo_time: float
+    n_ts: int
+    dt: float
+    final_operator: np.ndarray | None = None
+    method: str = "LBFGS"
+    wall_time: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fidelity(self) -> float:
+        """Convenience accessor: ``1 - fid_err``."""
+        return 1.0 - self.fid_err
+
+    @property
+    def converged(self) -> bool:
+        """Whether the optimizer reported reaching the target error."""
+        return "target" in self.termination_reason.lower()
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimResult(method={self.method!r}, fid_err={self.fid_err:.3e}, "
+            f"n_iter={self.n_iter}, reason={self.termination_reason!r})"
+        )

@@ -1,0 +1,106 @@
+"""Day-to-day calibration-drift model.
+
+Section V of the paper studies how the daily recalibration of IBM devices
+(qubit frequency, T1, T2, readout error all drift over ~24 h periods) affects
+pulses that were optimized once versus pulses re-optimized every day.
+
+:class:`CalibrationDriftModel` generates a deterministic (seeded) sequence of
+:class:`~repro.devices.properties.BackendProperties` snapshots, one per day.
+Frequencies follow a bounded random walk (Ornstein–Uhlenbeck step toward the
+nominal value plus Gaussian kicks); T1/T2 and readout errors follow lognormal
+fluctuations around their nominal values, mirroring the magnitude of drift
+reported for IBM backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .properties import BackendProperties, QubitProperties
+from ..utils.seeding import default_rng, stable_hash_seed
+from ..utils.validation import ValidationError
+
+__all__ = ["CalibrationDriftModel"]
+
+
+@dataclass
+class CalibrationDriftModel:
+    """Generates drifted backend snapshots for a sequence of days.
+
+    Parameters
+    ----------
+    nominal:
+        The nominal (day-0) backend properties.
+    frequency_sigma_ghz:
+        Standard deviation of the daily qubit-frequency kick (GHz).  IBM
+        devices typically drift by tens of kHz between calibrations.
+    frequency_reversion:
+        Ornstein–Uhlenbeck mean-reversion factor per day (0 = pure random
+        walk, 1 = resets to nominal every day).
+    t1_rel_sigma / t2_rel_sigma:
+        Relative (lognormal) daily fluctuation of T1 / T2.
+    readout_rel_sigma:
+        Relative daily fluctuation of the readout error.
+    seed:
+        Seed of the drift process; snapshots for a given (seed, day) are
+        deterministic and independent of the order in which days are queried.
+    """
+
+    nominal: BackendProperties
+    frequency_sigma_ghz: float = 5e-5
+    frequency_reversion: float = 0.3
+    t1_rel_sigma: float = 0.10
+    t2_rel_sigma: float = 0.10
+    readout_rel_sigma: float = 0.15
+    seed: int = 1234
+
+    def __post_init__(self):
+        if not 0.0 <= self.frequency_reversion <= 1.0:
+            raise ValidationError(
+                f"frequency_reversion must be in [0, 1], got {self.frequency_reversion}"
+            )
+        for name in ("frequency_sigma_ghz", "t1_rel_sigma", "t2_rel_sigma", "readout_rel_sigma"):
+            if getattr(self, name) < 0:
+                raise ValidationError(f"{name} must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    def properties_on_day(self, day: int) -> BackendProperties:
+        """Backend snapshot on ``day`` (day 0 = the nominal calibration)."""
+        if day < 0:
+            raise ValidationError(f"day must be >= 0, got {day}")
+        if day == 0:
+            return self.nominal
+        qubits = []
+        for q_idx, q in enumerate(self.nominal.qubits):
+            qubits.append(self._drift_qubit(q, q_idx, day))
+        return replace(self.nominal, qubits=tuple(qubits))
+
+    def _drift_qubit(self, q: QubitProperties, q_idx: int, day: int) -> QubitProperties:
+        # Walk the detuning forward day by day so consecutive days are correlated.
+        detuning = q.detuning_error
+        t1, t2, ro = q.t1, q.t2, q.readout_error
+        for d in range(1, day + 1):
+            rng = default_rng(stable_hash_seed("drift", self.seed, q_idx, d))
+            detuning = (1.0 - self.frequency_reversion) * detuning + rng.normal(
+                0.0, self.frequency_sigma_ghz
+            )
+            t1 = q.t1 * float(np.exp(rng.normal(0.0, self.t1_rel_sigma)))
+            t2 = q.t2 * float(np.exp(rng.normal(0.0, self.t2_rel_sigma)))
+            # keep the physical constraint T2 <= 2 T1
+            t2 = min(t2, 2.0 * t1)
+            ro = float(np.clip(q.readout_error * np.exp(rng.normal(0.0, self.readout_rel_sigma)), 1e-4, 0.5))
+        return replace(
+            q,
+            detuning_error=detuning,
+            t1=t1,
+            t2=t2,
+            readout_error=ro,
+        )
+
+    def properties_over_days(self, n_days: int) -> list[BackendProperties]:
+        """Snapshots for days ``0 .. n_days - 1``."""
+        if n_days < 1:
+            raise ValidationError(f"n_days must be >= 1, got {n_days}")
+        return [self.properties_on_day(d) for d in range(n_days)]

@@ -1,0 +1,379 @@
+"""End-to-end per-gate experiment pipeline.
+
+This module reproduces the paper's workflow for one gate:
+
+1. **Model construction** — build the optimizer-view Hamiltonian from the
+   backend's reported calibration data (Duffing transmon with Pauli X/Y
+   controls for single-qubit gates; the Eq. (1) cross-resonance model with
+   XI/IX/ZX controls for CNOT),
+2. **Pulse optimization** — run `optimize_pulse_unitary` (L-BFGS-B by
+   default) for the requested pulse duration; decoherence can be included
+   (open-system GRAPE) as the paper did for the X gate, or neglected as it
+   did for √X,
+3. **Lowering** — cast the optimized piecewise-constant amplitudes into a
+   pulse :class:`~repro.pulse.schedule.Schedule` on the device channels
+   (Fig. 2 / Fig. 7),
+4. **Execution** — attach the schedule as a custom calibration that replaces
+   the default gate, run the state-preparation circuit for the output
+   histogram (Figs. 3–6 bottom panels) and interleaved RB for the error per
+   gate (Figs. 3–5, 8 and Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..backend.backend import PulseBackend
+from ..backend.result import Result
+from ..benchmarking.irb import InterleavedRBExperiment, InterleavedRBResult
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gate import Gate
+from ..core.pulseoptim import optimize_pulse_unitary
+from ..core.result import OptimResult
+from ..devices.cross_resonance import CrossResonanceModel
+from ..devices.properties import BackendProperties
+from ..devices.transmon import TransmonModel
+from ..pulse.calibrations import control_channel_index
+from ..pulse.channels import ControlChannel, DriveChannel
+from ..pulse.instructions import Play, ShiftPhase
+from ..pulse.schedule import Schedule
+from ..pulse.shapes import pwc_waveform
+from ..qobj.gates import s_gate, standard_gate_unitary
+from ..qobj.metrics import average_gate_fidelity
+from ..utils.validation import ValidationError
+
+__all__ = [
+    "GateExperimentConfig",
+    "GateExperimentResult",
+    "optimize_gate_pulse",
+    "pulse_schedule_from_result",
+    "gate_histogram",
+    "run_gate_experiment",
+    "SUPPORTED_GATES",
+]
+
+SUPPORTED_GATES = ("x", "sx", "h", "cx")
+
+#: Expected ideal output distribution (exact, before readout error) of the
+#: state-preparation circuit used for each gate's histogram.
+HISTOGRAM_TARGET_STATE = {
+    "x": {"1": 1.0},
+    "sx": {"0": 0.5, "1": 0.5},
+    "h": {"0": 0.5, "1": 0.5},
+    "cx": {"11": 1.0},
+}
+
+
+@dataclass(frozen=True)
+class GateExperimentConfig:
+    """Configuration of a single-gate pulse-optimization experiment.
+
+    The default amplitude bounds are ±1/√2 so that the in-phase and
+    quadrature rows of a single-qubit pulse can be combined into one complex
+    drive sample without ever exceeding the hardware DAC limit |I + iQ| ≤ 1.
+    """
+
+    gate: str
+    qubits: tuple[int, ...] = (0,)
+    duration_ns: float = 105.0
+    n_ts: int = 12
+    method: str = "LBFGS"
+    include_decoherence: bool = False
+    #: Transmon levels in the optimizer's model.  3 (default) makes leakage a
+    #: first-class part of the cost via the subspace-restricted fidelity; 2
+    #: reproduces the paper's bare Pauli-control model (see the
+    #: ``ablation_optimizer_levels`` benchmark for the difference).
+    optimizer_levels: int = 3
+    init_pulse_type: str = "DRAG"
+    init_pulse_scale: float = 0.25
+    amp_lbound: float = -(2.0**-0.5)
+    amp_ubound: float = 2.0**-0.5
+    fid_err_targ: float = 1e-10
+    max_iter: int = 300
+    seed: int | None = 1234
+
+    def __post_init__(self):
+        if self.gate.lower() not in SUPPORTED_GATES:
+            raise ValidationError(f"gate must be one of {SUPPORTED_GATES}, got {self.gate!r}")
+        expected = 2 if self.gate.lower() == "cx" else 1
+        if len(self.qubits) != expected:
+            raise ValidationError(
+                f"gate {self.gate!r} needs {expected} qubit(s), got {len(self.qubits)}"
+            )
+        if self.duration_ns <= 0:
+            raise ValidationError("duration_ns must be > 0")
+        if self.n_ts < 2:
+            raise ValidationError("n_ts must be >= 2")
+
+
+@dataclass
+class GateExperimentResult:
+    """Everything the paper reports for one gate."""
+
+    config: GateExperimentConfig
+    optimization: OptimResult
+    schedule: Schedule
+    custom_channel_error: float
+    default_channel_error: float
+    custom_irb: InterleavedRBResult | None = None
+    default_irb: InterleavedRBResult | None = None
+    custom_histogram: Result | None = None
+    default_histogram: Result | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float | None:
+        """Relative IRB error improvement of the custom over the default gate."""
+        if self.custom_irb is None or self.default_irb is None:
+            return None
+        default_err = self.default_irb.gate_error
+        if default_err <= 0:
+            return None
+        return 1.0 - self.custom_irb.gate_error / default_err
+
+
+# --------------------------------------------------------------------------- #
+# model construction + optimization
+# --------------------------------------------------------------------------- #
+def _single_qubit_model(properties: BackendProperties, qubit: int, levels: int):
+    model = TransmonModel(properties.qubit(qubit), levels=levels, use_true_detuning=False)
+    drift = model.drift_hamiltonian()
+    controls = model.control_hamiltonians()
+    c_ops = model.collapse_operators()
+    target_embed = model.target_unitary
+    return drift, controls, c_ops, target_embed
+
+
+def _cr_model(properties: BackendProperties, qubits: Sequence[int]):
+    control, target = qubits
+    model = CrossResonanceModel(
+        control=properties.qubit(control),
+        target=properties.qubit(target),
+        coupling_ghz=properties.coupling_strength,
+        zz_crosstalk_ghz=properties.zz_crosstalk_ghz,
+        include_detuning=False,
+    )
+    return model
+
+
+def optimize_gate_pulse(
+    properties: BackendProperties,
+    config: GateExperimentConfig,
+) -> OptimResult:
+    """Run the paper's pulse optimization for one gate on one device.
+
+    Single-qubit gates use the Duffing-transmon model with Pauli X/Y control
+    terms built from the backend's reported data; CNOT uses the Eq. (1) CR
+    model with the XI/IX/ZX control terms and absorbs the final virtual-Z on
+    the control qubit (free on hardware) into the target, exactly as the
+    echoed-CR calibration does.
+    """
+    gate = config.gate.lower()
+    subspace_dim = None
+    if gate == "cx":
+        model = _cr_model(properties, config.qubits)
+        drift = model.drift_hamiltonian()
+        controls = model.control_hamiltonians()
+        c_ops = model.collapse_operators() if config.include_decoherence else None
+        # absorb the (free, virtual) S gate on the control qubit into the target
+        target = np.kron(s_gate().conj().T, np.eye(2)) @ standard_gate_unitary("cx")
+        dim = 4
+    else:
+        drift, controls, c_ops_all, embed = _single_qubit_model(
+            properties, config.qubits[0], config.optimizer_levels
+        )
+        c_ops = c_ops_all if config.include_decoherence else None
+        target = embed(standard_gate_unitary(gate))
+        dim = config.optimizer_levels
+        if config.optimizer_levels > 2:
+            subspace_dim = 2
+    return optimize_pulse_unitary(
+        drift,
+        controls,
+        np.eye(dim),
+        target,
+        n_ts=config.n_ts,
+        evo_time=config.duration_ns,
+        c_ops=c_ops,
+        method=config.method,
+        fid_err_targ=config.fid_err_targ,
+        max_iter=config.max_iter,
+        init_pulse_type=config.init_pulse_type,
+        init_pulse_scale=config.init_pulse_scale,
+        amp_lbound=config.amp_lbound,
+        amp_ubound=config.amp_ubound,
+        subspace_dim=subspace_dim,
+        seed=config.seed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# lowering to a pulse schedule
+# --------------------------------------------------------------------------- #
+def pulse_schedule_from_result(
+    properties: BackendProperties,
+    config: GateExperimentConfig,
+    optimization: OptimResult,
+) -> Schedule:
+    """Cast optimized PWC amplitudes into a device pulse schedule.
+
+    Single-qubit gates: the two control rows (X and Y quadratures) become the
+    real and imaginary parts of a Waveform on the qubit's drive channel.
+    CNOT: the XI, IX and ZX rows drive the control qubit's drive channel, the
+    target qubit's drive channel and the pair's control channel respectively,
+    followed by the virtual-Z frame change on the control qubit.
+    """
+    gate = config.gate.lower()
+    dt = properties.dt
+    total_samples = properties.samples_for_duration(config.duration_ns)
+    samples_per_slot = max(1, int(round(total_samples / optimization.n_ts)))
+    amps = optimization.final_amps
+    sched = Schedule(name=f"{gate}_custom_q{'_'.join(map(str, config.qubits))}")
+    if gate == "cx":
+        control, target = config.qubits
+        u_index = control_channel_index(properties, control, target)
+        channel_rows = [
+            (DriveChannel(control), amps[0]),
+            (DriveChannel(target), amps[1]),
+            (ControlChannel(u_index), amps[2]),
+        ]
+        for channel, row in channel_rows:
+            waveform = pwc_waveform(row, samples_per_slot=samples_per_slot, name=f"{gate}_pwc_{channel.name}")
+            sched.insert(0, Play(waveform, channel))
+        # the S gate absorbed into the optimization target is applied virtually
+        sched.append(ShiftPhase(-np.pi / 2.0, DriveChannel(control)))
+    else:
+        qubit = config.qubits[0]
+        x_row = amps[0]
+        y_row = amps[1] if amps.shape[0] > 1 else None
+        waveform = pwc_waveform(
+            x_row, y_row, samples_per_slot=samples_per_slot, name=f"{gate}_pwc_d{qubit}"
+        )
+        sched.append(Play(waveform, DriveChannel(qubit)))
+    return sched
+
+
+# --------------------------------------------------------------------------- #
+# execution: histograms and IRB
+# --------------------------------------------------------------------------- #
+def _histogram_circuit(gate: str, qubits: Sequence[int], n_circuit_qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(n_circuit_qubits, len(qubits), name=f"{gate}_histogram")
+    if gate == "cx":
+        control, target = qubits
+        # prepare |11>: X on the control, then CNOT
+        circuit.x(control)
+        circuit.append(Gate.standard("cx"), (control, target))
+        circuit.measure(control, 0)
+        circuit.measure(target, 1)
+    else:
+        circuit.append(Gate.standard(gate), tuple(qubits))
+        circuit.measure(qubits[0], 0)
+    return circuit
+
+
+def gate_histogram(
+    backend: PulseBackend,
+    gate: str,
+    qubits: Sequence[int],
+    schedule: Schedule | None = None,
+    shots: int = 4000,
+    seed=None,
+) -> Result:
+    """Output-state histogram of the gate's state-preparation circuit.
+
+    With ``schedule`` given, the custom calibration replaces the default gate
+    (for the CX histogram only the CX itself is replaced; the preparatory X
+    on the control stays a default gate, as in the paper).
+    """
+    gate = gate.lower()
+    n_circuit_qubits = max(qubits) + 1
+    circuit = _histogram_circuit(gate, qubits, n_circuit_qubits)
+    if schedule is not None:
+        circuit.add_calibration(gate, tuple(qubits), schedule)
+    return backend.run(circuit, shots=shots, seed=seed)
+
+
+def run_gate_experiment(
+    properties: BackendProperties,
+    config: GateExperimentConfig,
+    backend: PulseBackend | None = None,
+    rb_lengths: Sequence[int] | None = None,
+    rb_seeds: int = 6,
+    shots: int = 1024,
+    histogram_shots: int = 4000,
+    run_irb: bool = True,
+    run_histogram: bool = True,
+    seed: int = 2022,
+) -> GateExperimentResult:
+    """The full paper pipeline for one gate: optimize, lower, benchmark.
+
+    Returns a :class:`GateExperimentResult` with the custom/default channel
+    errors (exact, from the simulated channels), the custom/default IRB
+    summaries and the output histograms.
+    """
+    gate = config.gate.lower()
+    if backend is None:
+        backend = PulseBackend(properties, calibrated_qubits=sorted(set(config.qubits) | {0, 1}), seed=seed)
+    optimization = optimize_gate_pulse(properties, config)
+    schedule = pulse_schedule_from_result(properties, config, optimization)
+
+    target = standard_gate_unitary(gate)
+    custom_channel = backend.simulator.schedule_channel(schedule, qubits=list(config.qubits))
+    custom_error = 1.0 - average_gate_fidelity(custom_channel, target)
+    if gate == "h":
+        # the backend has no standalone default H pulse: the default H is the
+        # transpiled rz-sx-rz sequence, whose error is that of the default sx
+        default_channel = backend.gate_channel("sx", config.qubits)
+        default_error = 1.0 - average_gate_fidelity(default_channel, standard_gate_unitary("sx"))
+    else:
+        default_channel = backend.gate_channel(gate, config.qubits)
+        default_error = 1.0 - average_gate_fidelity(default_channel, target)
+
+    result = GateExperimentResult(
+        config=config,
+        optimization=optimization,
+        schedule=schedule,
+        custom_channel_error=float(custom_error),
+        default_channel_error=float(default_error),
+        metadata={"backend": properties.name},
+    )
+
+    if run_histogram:
+        result.custom_histogram = gate_histogram(
+            backend, gate, config.qubits, schedule=schedule, shots=histogram_shots, seed=seed
+        )
+        result.default_histogram = gate_histogram(
+            backend, gate, config.qubits, schedule=None, shots=histogram_shots, seed=seed + 1
+        )
+
+    if run_irb:
+        irb_gate = "sx" if gate == "h" else gate
+        interleaved_gate = Gate.standard(gate) if gate != "h" else Gate.standard("h")
+        # For H the interleaved gate is H itself (a Clifford); the default
+        # comparison interleaves the transpiled H (rz-sx-rz uses the default sx).
+        custom_exp = InterleavedRBExperiment(
+            backend,
+            interleaved_gate,
+            list(config.qubits),
+            lengths=rb_lengths,
+            n_seeds=rb_seeds,
+            shots=shots,
+            seed=seed,
+            custom_calibration=schedule,
+        )
+        default_exp = InterleavedRBExperiment(
+            backend,
+            interleaved_gate,
+            list(config.qubits),
+            lengths=rb_lengths,
+            n_seeds=rb_seeds,
+            shots=shots,
+            seed=seed,
+            custom_calibration=None,
+        )
+        result.custom_irb = custom_exp.run()
+        result.default_irb = default_exp.run()
+    return result

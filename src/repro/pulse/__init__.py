@@ -1,0 +1,70 @@
+"""Pulse-level programming layer (OpenPulse / Qiskit-Pulse substitute).
+
+This package mirrors the abstractions the paper uses to lower optimized
+control amplitudes onto hardware:
+
+* :mod:`~repro.pulse.shapes` — the pulse-shape library (Drag, Gaussian,
+  GaussianSquare, Constant, Sine) plus arbitrary :class:`Waveform` samples
+  (the piece-wise-constant output of `pulseoptim` is wrapped in a Waveform),
+* :mod:`~repro.pulse.channels` — Drive/Control/Measure/Acquire channels,
+* :mod:`~repro.pulse.instructions` — Play, Delay, ShiftPhase, Acquire,
+* :mod:`~repro.pulse.schedule` — the :class:`Schedule` container and the
+  per-channel sample assembly used by the backend simulator,
+* :mod:`~repro.pulse.builder` — a ``with build() as sched:`` context manager
+  in the style of ``qiskit.pulse.build``,
+* :mod:`~repro.pulse.instruction_schedule_map` — the gate → schedule mapping
+  ("instruction schedule map") used to register custom calibrations,
+* :mod:`~repro.pulse.calibrations` — generation of the *default* backend
+  calibrations (DRAG X/SX, GaussianSquare cross-resonance CX, measurement).
+
+All durations are expressed in integer numbers of backend samples (``dt``);
+conversion from nanoseconds happens at the edges (experiments, calibrations).
+"""
+
+from .shapes import (
+    Waveform,
+    ParametricPulse,
+    Constant,
+    Gaussian,
+    Drag,
+    GaussianSquare,
+    Sine,
+    pwc_waveform,
+)
+from .channels import Channel, DriveChannel, ControlChannel, MeasureChannel, AcquireChannel, MemorySlot
+from .instructions import Instruction, Play, Delay, ShiftPhase, SetPhase, Acquire
+from .schedule import Schedule
+from .builder import build, ScheduleBuilder
+from .instruction_schedule_map import InstructionScheduleMap
+from .calibrations import default_instruction_schedule_map, default_drag_x, default_drag_sx, default_cx_schedule
+
+__all__ = [
+    "Waveform",
+    "ParametricPulse",
+    "Constant",
+    "Gaussian",
+    "Drag",
+    "GaussianSquare",
+    "Sine",
+    "pwc_waveform",
+    "Channel",
+    "DriveChannel",
+    "ControlChannel",
+    "MeasureChannel",
+    "AcquireChannel",
+    "MemorySlot",
+    "Instruction",
+    "Play",
+    "Delay",
+    "ShiftPhase",
+    "SetPhase",
+    "Acquire",
+    "Schedule",
+    "build",
+    "ScheduleBuilder",
+    "InstructionScheduleMap",
+    "default_instruction_schedule_map",
+    "default_drag_x",
+    "default_drag_sx",
+    "default_cx_schedule",
+]

@@ -1,0 +1,93 @@
+"""Pulse channels.
+
+Channels name the physical ports of the control electronics:
+
+* :class:`DriveChannel` ``D<i>`` — the microwave drive of qubit ``i``,
+* :class:`ControlChannel` ``U<i>`` — an auxiliary drive used for two-qubit
+  (cross-resonance) interactions; its mapping to a qubit pair is defined by
+  the backend,
+* :class:`MeasureChannel` ``M<i>`` and :class:`AcquireChannel` ``A<i>`` —
+  readout stimulus and acquisition,
+* :class:`MemorySlot` ``m<i>`` — classical result register.
+
+Channels are immutable, hashable value objects, so they can be dictionary
+keys inside :class:`~repro.pulse.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+from ..utils.validation import ValidationError
+
+__all__ = [
+    "Channel",
+    "DriveChannel",
+    "ControlChannel",
+    "MeasureChannel",
+    "AcquireChannel",
+    "MemorySlot",
+]
+
+
+class Channel:
+    """Base class for all channels; identified by (type, index)."""
+
+    prefix = "ch"
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: int):
+        if int(index) < 0:
+            raise ValidationError(f"channel index must be >= 0, got {index}")
+        self._index = int(index)
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def name(self) -> str:
+        return f"{self.prefix}{self._index}"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._index == other._index
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._index))
+
+    def __lt__(self, other: "Channel") -> bool:
+        if not isinstance(other, Channel):
+            return NotImplemented
+        return (self.prefix, self._index) < (other.prefix, other._index)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._index})"
+
+
+class DriveChannel(Channel):
+    """Microwave drive channel of a qubit (``D0``, ``D1``, ...)."""
+
+    prefix = "d"
+
+
+class ControlChannel(Channel):
+    """Auxiliary control channel used for cross-resonance drives (``U0``, ...)."""
+
+    prefix = "u"
+
+
+class MeasureChannel(Channel):
+    """Readout stimulus channel (``M0``, ...)."""
+
+    prefix = "m"
+
+
+class AcquireChannel(Channel):
+    """Readout acquisition channel (``A0``, ...)."""
+
+    prefix = "a"
+
+
+class MemorySlot(Channel):
+    """Classical memory slot that stores a measurement outcome."""
+
+    prefix = "mem"

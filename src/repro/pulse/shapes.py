@@ -1,0 +1,277 @@
+"""Pulse-shape library.
+
+Pulse envelopes are complex-valued: the real part drives the in-phase (X)
+quadrature and the imaginary part the quadrature (Y) component of the drive
+Hamiltonian, exactly as in OpenPulse.  All shapes are sampled at the backend
+sample time ``dt`` (durations are integer sample counts) via
+:meth:`ParametricPulse.get_waveform`, which returns a :class:`Waveform`.
+
+Implemented shapes mirror the Qiskit pulse library used in the paper:
+
+* :class:`Constant` — flat-top rectangle,
+* :class:`Gaussian` — truncated, lifted Gaussian,
+* :class:`Drag` — Gaussian plus a scaled derivative on the quadrature
+  component (Derivative Removal by Adiabatic Gate), the default IBM X/SX
+  shape and the paper's initial guess for single-qubit optimizations,
+* :class:`GaussianSquare` — Gaussian risefall with a flat top, the default
+  cross-resonance shape and the input shape of the paper's second CX attempt,
+* :class:`Sine` — the "SINE" input shape of the paper's first CX attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..utils.validation import ValidationError
+
+__all__ = [
+    "Waveform",
+    "ParametricPulse",
+    "Constant",
+    "Gaussian",
+    "Drag",
+    "GaussianSquare",
+    "Sine",
+    "pwc_waveform",
+]
+
+#: Maximum allowed magnitude of any output sample (hardware DAC limit).
+MAX_AMPLITUDE = 1.0 + 1e-9
+
+
+class Waveform:
+    """Arbitrary complex pulse samples.
+
+    Parameters
+    ----------
+    samples:
+        Complex array of per-``dt`` samples.  Magnitudes must not exceed 1
+        (the OpenPulse normalized-amplitude convention).
+    name:
+        Optional label used in schedule visualization and tests.
+    epsilon:
+        Samples whose magnitude exceeds 1 by at most ``epsilon`` are clipped
+        instead of rejected (mirrors Qiskit's behaviour and protects against
+        harmless floating-point overshoot from optimizers).
+    """
+
+    def __init__(self, samples, name: str | None = None, epsilon: float = 1e-6):
+        arr = np.asarray(samples, dtype=complex).ravel()
+        if arr.size == 0:
+            raise ValidationError("Waveform requires at least one sample")
+        mag = np.abs(arr)
+        if np.any(mag > 1.0 + epsilon):
+            raise ValidationError(
+                f"pulse samples exceed unit amplitude (max |sample| = {mag.max():.6f})"
+            )
+        over = mag > 1.0
+        if np.any(over):
+            arr = arr.copy()
+            arr[over] = arr[over] / mag[over]
+        self._samples = arr
+        self.name = name or "waveform"
+
+    @property
+    def samples(self) -> np.ndarray:
+        return self._samples
+
+    @property
+    def duration(self) -> int:
+        """Duration in samples."""
+        return int(self._samples.size)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Waveform):
+            return NotImplemented
+        return self.duration == other.duration and bool(
+            np.allclose(self._samples, other._samples)
+        )
+
+    def __repr__(self) -> str:
+        return f"Waveform(duration={self.duration}, name={self.name!r})"
+
+
+@dataclass(frozen=True)
+class ParametricPulse:
+    """Base class for analytically-defined pulse envelopes."""
+
+    duration: int
+    amp: complex = 1.0
+    name: str | None = None
+
+    def __post_init__(self):
+        if int(self.duration) < 1:
+            raise ValidationError(f"duration must be >= 1 sample, got {self.duration}")
+        if abs(self.amp) > MAX_AMPLITUDE:
+            raise ValidationError(f"|amp| must be <= 1, got {abs(self.amp)}")
+
+    # -- interface ------------------------------------------------------ #
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        """Complex envelope evaluated at sample indices ``t`` (override)."""
+        raise NotImplementedError
+
+    def get_waveform(self) -> Waveform:
+        """Sample the envelope at integer sample midpoints."""
+        t = np.arange(self.duration, dtype=float) + 0.5
+        samples = np.asarray(self.envelope(t), dtype=complex)
+        return Waveform(samples, name=self.name or type(self).__name__.lower())
+
+    @property
+    def parameters(self) -> Mapping[str, complex]:
+        """Shape parameters (for reporting/serialization)."""
+        out = {"duration": self.duration, "amp": self.amp}
+        for key, val in self.__dict__.items():
+            if key not in ("duration", "amp", "name"):
+                out[key] = val
+        return out
+
+
+@dataclass(frozen=True)
+class Constant(ParametricPulse):
+    """Flat rectangular pulse of complex amplitude ``amp``."""
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        return np.full(t.shape, complex(self.amp))
+
+
+@dataclass(frozen=True)
+class Gaussian(ParametricPulse):
+    """Lifted, truncated Gaussian envelope.
+
+    The envelope is shifted and rescaled so it starts and ends at exactly
+    zero amplitude and peaks at ``amp`` in the centre (Qiskit's "lifted
+    Gaussian" convention).
+    """
+
+    sigma: float = 10.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.sigma <= 0:
+            raise ValidationError(f"sigma must be > 0, got {self.sigma}")
+
+    def _raw(self, t: np.ndarray) -> np.ndarray:
+        center = self.duration / 2.0
+        return np.exp(-0.5 * ((t - center) / self.sigma) ** 2)
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        edge = np.exp(-0.5 * ((0.0 - self.duration / 2.0) / self.sigma) ** 2)
+        raw = self._raw(t)
+        lifted = (raw - edge) / (1.0 - edge)
+        return complex(self.amp) * np.clip(lifted, 0.0, None)
+
+
+@dataclass(frozen=True)
+class Drag(Gaussian):
+    """DRAG pulse: Gaussian on I with a scaled derivative on Q.
+
+    ``beta`` is the DRAG coefficient; the standard leakage-suppressing choice
+    for a transmon with anharmonicity α (rad/ns) is ``beta ≈ -1/α``.
+    """
+
+    beta: float = 0.0
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        center = self.duration / 2.0
+        edge = np.exp(-0.5 * ((0.0 - center) / self.sigma) ** 2)
+        raw = self._raw(t)
+        lifted = (raw - edge) / (1.0 - edge)
+        lifted = np.clip(lifted, 0.0, None)
+        # derivative of the *lifted* Gaussian w.r.t. time (sample units)
+        d_raw = -(t - center) / self.sigma**2 * raw
+        d_lifted = d_raw / (1.0 - edge)
+        return complex(self.amp) * (lifted + 1j * self.beta * d_lifted)
+
+
+@dataclass(frozen=True)
+class GaussianSquare(ParametricPulse):
+    """Flat-top pulse with Gaussian rise and fall.
+
+    ``width`` is the flat-top length in samples; the risefall on each side is
+    ``(duration - width) / 2`` with standard deviation ``sigma``.
+    """
+
+    sigma: float = 10.0
+    width: float | None = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.sigma <= 0:
+            raise ValidationError(f"sigma must be > 0, got {self.sigma}")
+        width = self.duration * 0.5 if self.width is None else self.width
+        if not 0 <= width <= self.duration:
+            raise ValidationError(
+                f"width must be in [0, duration={self.duration}], got {width}"
+            )
+
+    @property
+    def flat_width(self) -> float:
+        return self.duration * 0.5 if self.width is None else float(self.width)
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        width = self.flat_width
+        risefall = (self.duration - width) / 2.0
+        t_rise_end = risefall
+        t_fall_start = self.duration - risefall
+        out = np.ones_like(t, dtype=float)
+        rise = t < t_rise_end
+        fall = t > t_fall_start
+        out[rise] = np.exp(-0.5 * ((t[rise] - t_rise_end) / self.sigma) ** 2)
+        out[fall] = np.exp(-0.5 * ((t[fall] - t_fall_start) / self.sigma) ** 2)
+        # lift so the edges reach zero, as for Gaussian
+        edge = np.exp(-0.5 * (risefall / self.sigma) ** 2) if risefall > 0 else 0.0
+        out = (out - edge) / (1.0 - edge) if edge < 1.0 else out
+        return complex(self.amp) * np.clip(out, 0.0, None)
+
+
+@dataclass(frozen=True)
+class Sine(ParametricPulse):
+    """Half-sine arch envelope, ``amp · sin(π t / duration)``.
+
+    This is the "SINE" input pulse shape the paper used for its first CX
+    optimization attempt.
+    """
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        return complex(self.amp) * np.sin(np.pi * t / self.duration)
+
+
+def pwc_waveform(
+    x_amplitudes: np.ndarray,
+    y_amplitudes: np.ndarray | None = None,
+    samples_per_slot: int = 1,
+    name: str = "pwc",
+    normalize: bool = False,
+) -> Waveform:
+    """Wrap piece-wise-constant optimizer amplitudes into a :class:`Waveform`.
+
+    Parameters
+    ----------
+    x_amplitudes, y_amplitudes:
+        Per-slot amplitudes of the in-phase and quadrature controls (the rows
+        of the `pulseoptim` output).  ``y_amplitudes`` defaults to zero.
+    samples_per_slot:
+        Number of hardware ``dt`` samples per optimizer time slot (the paper
+        uses slots much longer than ``dt``; e.g. a 480-dt pulse with 10 slots
+        has 48 samples per slot).
+    normalize:
+        If True, rescale so that the maximum sample magnitude is at most 1
+        (useful when an optimizer was run without amplitude bounds).
+    """
+    x = np.asarray(x_amplitudes, dtype=float).ravel()
+    y = np.zeros_like(x) if y_amplitudes is None else np.asarray(y_amplitudes, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ValidationError(
+            f"x and y amplitude arrays must have the same length, got {x.size} and {y.size}"
+        )
+    if samples_per_slot < 1:
+        raise ValidationError(f"samples_per_slot must be >= 1, got {samples_per_slot}")
+    samples = np.repeat(x + 1j * y, samples_per_slot)
+    if normalize:
+        peak = np.abs(samples).max()
+        if peak > 1.0:
+            samples = samples / peak
+    return Waveform(samples, name=name)

@@ -1,0 +1,189 @@
+"""Quantum object algebra: states, operators, superoperators and metrics.
+
+This package is a compact, NumPy-backed replacement for the subset of QuTiP
+that the paper relies on:
+
+* :class:`~repro.qobj.qobj.Qobj` — a thin wrapper around a dense complex
+  matrix carrying tensor-product dimension bookkeeping,
+* constructors for common operators (Pauli, ladder, number, projectors),
+  states (Fock basis, superposition, Bell), and standard gate unitaries,
+* tensor products, partial trace, operator embedding,
+* superoperator machinery (``spre``/``spost``, Liouvillians, Kraus/χ/PTM
+  conversions) needed for open-system dynamics and gate-channel caching,
+* fidelity/distance metrics (state fidelity, average gate fidelity, unitary
+  trace fidelity used as the paper's cost function),
+* Haar-random unitaries and random states for property-based testing.
+
+All heavy numerics accept and return plain ``numpy.ndarray``; ``Qobj`` exists
+for convenient, dimension-safe composition at the user-facing API level.
+"""
+
+from .qobj import Qobj, qobj_to_array
+from .operators import (
+    identity,
+    qeye,
+    sigmax,
+    sigmay,
+    sigmaz,
+    sigmap,
+    sigmam,
+    pauli,
+    destroy,
+    create,
+    num,
+    position,
+    momentum,
+    projector_op,
+)
+from .states import (
+    basis,
+    fock,
+    ket2dm,
+    fock_dm,
+    maximally_mixed_dm,
+    plus_state,
+    minus_state,
+    bell_state,
+    ghz_state,
+    zero_ket,
+    coherent,
+    thermal_dm,
+)
+from .tensor import tensor, ptrace, expand_operator, permute_subsystems
+from .superop import (
+    spre,
+    spost,
+    sprepost,
+    liouvillian,
+    lindblad_dissipator,
+    unitary_superop,
+    kraus_to_super,
+    super_to_choi,
+    choi_to_kraus,
+    apply_superop,
+    is_cptp,
+    average_gate_fidelity_from_super,
+)
+from .metrics import (
+    state_fidelity,
+    trace_distance,
+    purity,
+    unitary_overlap_fidelity,
+    unitary_infidelity,
+    average_gate_fidelity,
+    process_fidelity,
+    hilbert_schmidt_distance,
+)
+from .gates import (
+    x_gate,
+    y_gate,
+    z_gate,
+    hadamard,
+    s_gate,
+    sdg_gate,
+    t_gate,
+    tdg_gate,
+    sx_gate,
+    sxdg_gate,
+    rx_gate,
+    ry_gate,
+    rz_gate,
+    phase_gate,
+    u3_gate,
+    cx_gate,
+    cz_gate,
+    swap_gate,
+    iswap_gate,
+    cr_gate,
+    standard_gate_unitary,
+    GATE_UNITARIES,
+)
+from .random import random_unitary, random_statevector, random_density_matrix, random_hermitian
+
+__all__ = [
+    "Qobj",
+    "qobj_to_array",
+    # operators
+    "identity",
+    "qeye",
+    "sigmax",
+    "sigmay",
+    "sigmaz",
+    "sigmap",
+    "sigmam",
+    "pauli",
+    "destroy",
+    "create",
+    "num",
+    "position",
+    "momentum",
+    "projector_op",
+    # states
+    "basis",
+    "fock",
+    "ket2dm",
+    "fock_dm",
+    "maximally_mixed_dm",
+    "plus_state",
+    "minus_state",
+    "bell_state",
+    "ghz_state",
+    "zero_ket",
+    "coherent",
+    "thermal_dm",
+    # tensor
+    "tensor",
+    "ptrace",
+    "expand_operator",
+    "permute_subsystems",
+    # superop
+    "spre",
+    "spost",
+    "sprepost",
+    "liouvillian",
+    "lindblad_dissipator",
+    "unitary_superop",
+    "kraus_to_super",
+    "super_to_choi",
+    "choi_to_kraus",
+    "apply_superop",
+    "is_cptp",
+    "average_gate_fidelity_from_super",
+    # metrics
+    "state_fidelity",
+    "trace_distance",
+    "purity",
+    "unitary_overlap_fidelity",
+    "unitary_infidelity",
+    "average_gate_fidelity",
+    "process_fidelity",
+    "hilbert_schmidt_distance",
+    # gates
+    "x_gate",
+    "y_gate",
+    "z_gate",
+    "hadamard",
+    "s_gate",
+    "sdg_gate",
+    "t_gate",
+    "tdg_gate",
+    "sx_gate",
+    "sxdg_gate",
+    "rx_gate",
+    "ry_gate",
+    "rz_gate",
+    "phase_gate",
+    "u3_gate",
+    "cx_gate",
+    "cz_gate",
+    "swap_gate",
+    "iswap_gate",
+    "cr_gate",
+    "standard_gate_unitary",
+    "GATE_UNITARIES",
+    # random
+    "random_unitary",
+    "random_statevector",
+    "random_density_matrix",
+    "random_hermitian",
+]

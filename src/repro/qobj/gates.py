@@ -1,0 +1,214 @@
+"""Standard gate unitaries (two-level computational-subspace definitions).
+
+These are the *target* unitaries used by the optimal-control cost function
+and the ideal references used by the benchmarking (RB/IRB) and transpiler
+layers.  All matrices use the big-endian qubit ordering convention: for a
+two-qubit gate the leftmost tensor factor is qubit 0 (the control of CX).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import ValidationError
+
+__all__ = [
+    "x_gate",
+    "y_gate",
+    "z_gate",
+    "hadamard",
+    "s_gate",
+    "sdg_gate",
+    "t_gate",
+    "tdg_gate",
+    "sx_gate",
+    "sxdg_gate",
+    "rx_gate",
+    "ry_gate",
+    "rz_gate",
+    "phase_gate",
+    "u3_gate",
+    "cx_gate",
+    "cz_gate",
+    "swap_gate",
+    "iswap_gate",
+    "cr_gate",
+    "standard_gate_unitary",
+    "GATE_UNITARIES",
+]
+
+
+def x_gate() -> np.ndarray:
+    """Pauli-X (NOT, π-pulse) gate."""
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def y_gate() -> np.ndarray:
+    """Pauli-Y gate."""
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def z_gate() -> np.ndarray:
+    """Pauli-Z gate."""
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def hadamard() -> np.ndarray:
+    """Hadamard gate."""
+    return np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+
+
+def s_gate() -> np.ndarray:
+    """Phase gate S = sqrt(Z)."""
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def sdg_gate() -> np.ndarray:
+    """Adjoint of the S gate."""
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def t_gate() -> np.ndarray:
+    """T gate (π/8 gate)."""
+    return np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+
+def tdg_gate() -> np.ndarray:
+    """Adjoint of the T gate."""
+    return np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex)
+
+
+def sx_gate() -> np.ndarray:
+    """Square-root of X (the √x basis gate of IBM devices)."""
+    return 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def sxdg_gate() -> np.ndarray:
+    """Adjoint of √X."""
+    return sx_gate().conj().T
+
+
+def rx_gate(theta: float) -> np.ndarray:
+    """Rotation about X by angle ``theta``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_gate(theta: float) -> np.ndarray:
+    """Rotation about Y by angle ``theta``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_gate(phi: float) -> np.ndarray:
+    """Rotation about Z by angle ``phi`` (traceless convention)."""
+    return np.array(
+        [[np.exp(-1j * phi / 2.0), 0], [0, np.exp(1j * phi / 2.0)]], dtype=complex
+    )
+
+
+def phase_gate(lam: float) -> np.ndarray:
+    """Phase gate ``diag(1, e^{i lam})`` (Qiskit ``p`` gate)."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+def u3_gate(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary (Qiskit ``U(theta, phi, lambda)``)."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def cx_gate() -> np.ndarray:
+    """CNOT with qubit 0 (leftmost tensor factor) as control."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    )
+
+
+def cz_gate() -> np.ndarray:
+    """Controlled-Z gate."""
+    return np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def swap_gate() -> np.ndarray:
+    """SWAP gate."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def iswap_gate() -> np.ndarray:
+    """iSWAP gate."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def cr_gate(theta: float) -> np.ndarray:
+    """Cross-resonance rotation ``exp(-i theta/2 (Z ⊗ X))``.
+
+    The echoed CR gate with ``theta = -π/2`` is locally equivalent to CNOT.
+    """
+    zx = np.kron(z_gate(), x_gate())
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.eye(4, dtype=complex) * c - 1j * s * zx
+
+
+#: Mapping from gate name (lowercase, Qiskit-style) to a zero-argument
+#: constructor of its unitary.  Parametric gates are not included here; use
+#: :func:`standard_gate_unitary` for those.
+GATE_UNITARIES = {
+    "id": lambda: np.eye(2, dtype=complex),
+    "x": x_gate,
+    "y": y_gate,
+    "z": z_gate,
+    "h": hadamard,
+    "s": s_gate,
+    "sdg": sdg_gate,
+    "t": t_gate,
+    "tdg": tdg_gate,
+    "sx": sx_gate,
+    "sxdg": sxdg_gate,
+    "cx": cx_gate,
+    "cnot": cx_gate,
+    "cz": cz_gate,
+    "swap": swap_gate,
+    "iswap": iswap_gate,
+}
+
+
+def standard_gate_unitary(name: str, *params: float) -> np.ndarray:
+    """Return the unitary of a named gate, with parameters where applicable.
+
+    Supported parametric names: ``rx``, ``ry``, ``rz``, ``p``/``phase``,
+    ``u``/``u3``, ``cr``.
+    """
+    key = name.lower()
+    if key in GATE_UNITARIES:
+        if params:
+            raise ValidationError(f"gate {name!r} takes no parameters, got {params}")
+        return GATE_UNITARIES[key]()
+    parametric = {
+        "rx": (rx_gate, 1),
+        "ry": (ry_gate, 1),
+        "rz": (rz_gate, 1),
+        "p": (phase_gate, 1),
+        "phase": (phase_gate, 1),
+        "u": (u3_gate, 3),
+        "u3": (u3_gate, 3),
+        "cr": (cr_gate, 1),
+    }
+    if key not in parametric:
+        raise ValidationError(f"unknown gate name {name!r}")
+    func, nparams = parametric[key]
+    if len(params) != nparams:
+        raise ValidationError(
+            f"gate {name!r} requires {nparams} parameter(s), got {len(params)}"
+        )
+    return func(*params)

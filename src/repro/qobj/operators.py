@@ -1,0 +1,156 @@
+"""Common operator constructors (Pauli, ladder, number, projectors).
+
+Each constructor returns a :class:`~repro.qobj.qobj.Qobj` by default; pass
+``as_array=True`` to obtain the plain ``numpy.ndarray`` used in solver hot
+paths.  Multi-level (transmon) operators take an explicit ``levels`` argument
+so the same code path serves both two-level qubit models and three-or-more
+level Duffing-oscillator models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qobj import Qobj
+
+__all__ = [
+    "identity",
+    "qeye",
+    "sigmax",
+    "sigmay",
+    "sigmaz",
+    "sigmap",
+    "sigmam",
+    "pauli",
+    "destroy",
+    "create",
+    "num",
+    "position",
+    "momentum",
+    "projector_op",
+]
+
+_SIGMA_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+_SIGMA_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+_SIGMA_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+
+
+def _maybe_wrap(arr: np.ndarray, as_array: bool) -> Qobj | np.ndarray:
+    return arr if as_array else Qobj(arr)
+
+
+def identity(n: int = 2, as_array: bool = False):
+    """Identity operator on an ``n``-dimensional space."""
+    if n < 1:
+        raise ValueError(f"dimension must be >= 1, got {n}")
+    return _maybe_wrap(np.eye(n, dtype=complex), as_array)
+
+
+#: QuTiP-compatible alias for :func:`identity`.
+qeye = identity
+
+
+def sigmax(levels: int = 2, as_array: bool = False):
+    """Pauli-X, embedded in the lowest two levels of a ``levels``-dim space.
+
+    For ``levels > 2`` the operator acts as σx on the computational subspace
+    {|0>, |1>} and as zero elsewhere — this is the control operator used when
+    optimizing qubit gates on a multi-level transmon.
+    """
+    op = np.zeros((levels, levels), dtype=complex)
+    op[:2, :2] = _SIGMA_X
+    return _maybe_wrap(op, as_array)
+
+
+def sigmay(levels: int = 2, as_array: bool = False):
+    """Pauli-Y embedded in the lowest two levels (see :func:`sigmax`)."""
+    op = np.zeros((levels, levels), dtype=complex)
+    op[:2, :2] = _SIGMA_Y
+    return _maybe_wrap(op, as_array)
+
+
+def sigmaz(levels: int = 2, as_array: bool = False):
+    """Pauli-Z embedded in the lowest two levels (see :func:`sigmax`)."""
+    op = np.zeros((levels, levels), dtype=complex)
+    op[:2, :2] = _SIGMA_Z
+    return _maybe_wrap(op, as_array)
+
+
+def sigmap(levels: int = 2, as_array: bool = False):
+    """Qubit raising operator ``|1><0|`` embedded in the lowest two levels."""
+    op = np.zeros((levels, levels), dtype=complex)
+    op[1, 0] = 1.0
+    return _maybe_wrap(op, as_array)
+
+
+def sigmam(levels: int = 2, as_array: bool = False):
+    """Qubit lowering operator ``|0><1|`` embedded in the lowest two levels."""
+    op = np.zeros((levels, levels), dtype=complex)
+    op[0, 1] = 1.0
+    return _maybe_wrap(op, as_array)
+
+
+def pauli(label: str, as_array: bool = False):
+    """Return a (possibly multi-qubit) Pauli operator from its label.
+
+    ``label`` is a string over ``{I, X, Y, Z}``; multi-character labels are
+    tensor products with the leftmost character acting on qubit 0 (the most
+    significant tensor factor).  Example: ``pauli("ZX")`` = σz ⊗ σx.
+    """
+    singles = {
+        "I": np.eye(2, dtype=complex),
+        "X": _SIGMA_X,
+        "Y": _SIGMA_Y,
+        "Z": _SIGMA_Z,
+    }
+    label = label.upper()
+    if not label or any(ch not in singles for ch in label):
+        raise ValueError(f"invalid Pauli label {label!r}; must be a string over I/X/Y/Z")
+    op = singles[label[0]]
+    for ch in label[1:]:
+        op = np.kron(op, singles[ch])
+    if as_array:
+        return op
+    n = len(label)
+    return Qobj(op, dims=[[2] * n, [2] * n])
+
+
+def destroy(levels: int, as_array: bool = False):
+    """Bosonic annihilation operator truncated to ``levels`` levels."""
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    op = np.diag(np.sqrt(np.arange(1, levels, dtype=float)), k=1).astype(complex)
+    return _maybe_wrap(op, as_array)
+
+
+def create(levels: int, as_array: bool = False):
+    """Bosonic creation operator truncated to ``levels`` levels."""
+    a = destroy(levels, as_array=True)
+    return _maybe_wrap(a.conj().T, as_array)
+
+
+def num(levels: int, as_array: bool = False):
+    """Number operator ``a† a`` truncated to ``levels`` levels."""
+    op = np.diag(np.arange(levels, dtype=float)).astype(complex)
+    return _maybe_wrap(op, as_array)
+
+
+def position(levels: int, as_array: bool = False):
+    """Dimensionless position quadrature ``(a + a†)/sqrt(2)``."""
+    a = destroy(levels, as_array=True)
+    return _maybe_wrap((a + a.conj().T) / np.sqrt(2.0), as_array)
+
+
+def momentum(levels: int, as_array: bool = False):
+    """Dimensionless momentum quadrature ``-i (a - a†)/sqrt(2)``."""
+    a = destroy(levels, as_array=True)
+    return _maybe_wrap(-1j * (a - a.conj().T) / np.sqrt(2.0), as_array)
+
+
+def projector_op(level: int, levels: int, as_array: bool = False):
+    """Projector ``|level><level|`` on a ``levels``-dimensional space."""
+    if not 0 <= level < levels:
+        raise ValueError(f"level must be in [0, {levels}), got {level}")
+    op = np.zeros((levels, levels), dtype=complex)
+    op[level, level] = 1.0
+    return _maybe_wrap(op, as_array)

@@ -1,0 +1,325 @@
+"""The :class:`Qobj` quantum object wrapper.
+
+``Qobj`` wraps a dense complex NumPy matrix (or column/row vector) with the
+tensor-product dimension bookkeeping needed for multi-qubit/multi-level
+systems.  It supports the arithmetic used in optimal-control code (addition,
+scalar and matrix multiplication, adjoint, trace, matrix exponential,
+eigendecompositions, partial trace) while keeping the underlying data a plain
+``numpy.ndarray`` so solver/optimizer hot loops can operate directly on
+arrays without conversion overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.linalg as la
+
+from ..utils.linalg import dagger, is_hermitian, is_unitary
+from ..utils.validation import ValidationError
+
+__all__ = ["Qobj", "qobj_to_array"]
+
+
+def _infer_dims(shape: tuple[int, int]) -> list[list[int]]:
+    """Default dims for a matrix of the given shape: a single subsystem."""
+    return [[shape[0]], [shape[1]]]
+
+
+def qobj_to_array(obj) -> np.ndarray:
+    """Coerce a :class:`Qobj` or array-like into a complex ``ndarray``.
+
+    This is the standard entry point used by solvers and optimizers so they
+    accept either representation transparently.
+    """
+    if isinstance(obj, Qobj):
+        return obj.data
+    return np.asarray(obj, dtype=complex)
+
+
+class Qobj:
+    """A dense quantum object (ket, bra, operator, or superoperator).
+
+    Parameters
+    ----------
+    data:
+        Array-like of shape ``(m, n)``; 1-D input is promoted to a column
+        vector (ket).
+    dims:
+        Tensor-structure dimensions ``[row_dims, col_dims]``.  For an
+        operator on two qutrits this is ``[[3, 3], [3, 3]]``; for a two-qubit
+        ket it is ``[[2, 2], [1, 1]]``.  Defaults to a single subsystem.
+    kind:
+        Optional explicit kind tag (``"ket"``, ``"bra"``, ``"oper"`` or
+        ``"super"``); inferred from the shape when omitted.
+    """
+
+    __slots__ = ("_data", "_dims", "_kind")
+
+    def __init__(self, data, dims: Sequence[Sequence[int]] | None = None, kind: str | None = None):
+        arr = np.asarray(data, dtype=complex)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValidationError(f"Qobj data must be 1-D or 2-D, got ndim={arr.ndim}")
+        self._data = np.ascontiguousarray(arr)
+        if dims is None:
+            dims = _infer_dims(self._data.shape)
+        dims = [list(map(int, dims[0])), list(map(int, dims[1]))]
+        if int(np.prod(dims[0])) != self._data.shape[0] or int(np.prod(dims[1])) != self._data.shape[1]:
+            raise ValidationError(
+                f"dims {dims!r} inconsistent with data shape {self._data.shape!r}"
+            )
+        self._dims = dims
+        if kind is None:
+            kind = self._infer_kind()
+        self._kind = kind
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    def _infer_kind(self) -> str:
+        m, n = self._data.shape
+        if n == 1 and m > 1:
+            return "ket"
+        if m == 1 and n > 1:
+            return "bra"
+        return "oper"
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying complex matrix (no copy)."""
+        return self._data
+
+    @property
+    def dims(self) -> list[list[int]]:
+        """Tensor-product dimensions ``[row_dims, col_dims]``."""
+        return [list(self._dims[0]), list(self._dims[1])]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._data.shape
+
+    @property
+    def kind(self) -> str:
+        """One of ``"ket"``, ``"bra"``, ``"oper"``, ``"super"``."""
+        return self._kind
+
+    @property
+    def isket(self) -> bool:
+        return self._kind == "ket"
+
+    @property
+    def isbra(self) -> bool:
+        return self._kind == "bra"
+
+    @property
+    def isoper(self) -> bool:
+        return self._kind == "oper"
+
+    @property
+    def issuper(self) -> bool:
+        return self._kind == "super"
+
+    @property
+    def isherm(self) -> bool:
+        """Whether the object is a Hermitian operator."""
+        return self.isoper and is_hermitian(self._data)
+
+    @property
+    def isunitary(self) -> bool:
+        """Whether the object is (numerically) unitary."""
+        return self.isoper and is_unitary(self._data)
+
+    def full(self) -> np.ndarray:
+        """Return a copy of the underlying matrix."""
+        return self._data.copy()
+
+    def copy(self) -> "Qobj":
+        return Qobj(self._data.copy(), dims=self.dims, kind=self._kind)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def _wrap_like(self, data: np.ndarray) -> "Qobj":
+        return Qobj(data, dims=self.dims, kind=self._kind)
+
+    def __add__(self, other) -> "Qobj":
+        if isinstance(other, Qobj):
+            self._check_compatible(other)
+            return self._wrap_like(self._data + other._data)
+        if np.isscalar(other):
+            # scalar addition adds a multiple of the identity (operator only)
+            if not self.isoper:
+                raise ValidationError("scalar addition only defined for operators")
+            return self._wrap_like(self._data + complex(other) * np.eye(self.shape[0]))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Qobj":
+        if isinstance(other, Qobj):
+            self._check_compatible(other)
+            return self._wrap_like(self._data - other._data)
+        if np.isscalar(other):
+            return self.__add__(-complex(other))
+        return NotImplemented
+
+    def __rsub__(self, other) -> "Qobj":
+        return (-self).__add__(other)
+
+    def __neg__(self) -> "Qobj":
+        return self._wrap_like(-self._data)
+
+    def __mul__(self, other) -> "Qobj":
+        if np.isscalar(other):
+            return self._wrap_like(self._data * complex(other))
+        if isinstance(other, Qobj):
+            return self.__matmul__(other)
+        return NotImplemented
+
+    def __rmul__(self, other) -> "Qobj":
+        if np.isscalar(other):
+            return self._wrap_like(self._data * complex(other))
+        return NotImplemented
+
+    def __truediv__(self, other) -> "Qobj":
+        if np.isscalar(other):
+            return self._wrap_like(self._data / complex(other))
+        return NotImplemented
+
+    def __matmul__(self, other) -> "Qobj":
+        if not isinstance(other, Qobj):
+            other = Qobj(other)
+        if self.shape[1] != other.shape[0]:
+            raise ValidationError(
+                f"incompatible shapes for product: {self.shape} @ {other.shape}"
+            )
+        data = self._data @ other._data
+        dims = [self._dims[0], other._dims[1]]
+        return Qobj(data, dims=dims)
+
+    def __pow__(self, n: int) -> "Qobj":
+        if not self.isoper:
+            raise ValidationError("matrix power only defined for operators")
+        return Qobj(np.linalg.matrix_power(self._data, int(n)), dims=self.dims)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Qobj):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self._dims == other._dims
+            and bool(np.allclose(self._data, other._data, atol=1e-12))
+        )
+
+    def __hash__(self):  # Qobj is mutable-ish; keep it unhashable like ndarray
+        raise TypeError("Qobj objects are unhashable")
+
+    def _check_compatible(self, other: "Qobj") -> None:
+        if self.shape != other.shape:
+            raise ValidationError(
+                f"incompatible shapes: {self.shape} vs {other.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # linear-algebra operations
+    # ------------------------------------------------------------------ #
+    def dag(self) -> "Qobj":
+        """Hermitian adjoint (conjugate transpose)."""
+        kind = {"ket": "bra", "bra": "ket"}.get(self._kind, self._kind)
+        return Qobj(dagger(self._data), dims=[self._dims[1], self._dims[0]], kind=kind)
+
+    def conj(self) -> "Qobj":
+        return Qobj(np.conj(self._data), dims=self.dims, kind=self._kind)
+
+    def trans(self) -> "Qobj":
+        return Qobj(self._data.T, dims=[self._dims[1], self._dims[0]])
+
+    def tr(self) -> complex:
+        """Trace of the operator."""
+        return complex(np.trace(self._data))
+
+    def norm(self) -> float:
+        """Norm: 2-norm for kets/bras, trace norm for operators."""
+        if self.isket or self.isbra:
+            return float(np.linalg.norm(self._data))
+        # trace norm = sum of singular values
+        return float(np.sum(np.linalg.svd(self._data, compute_uv=False)))
+
+    def unit(self) -> "Qobj":
+        """Return the normalized object (unit norm / unit trace for density ops)."""
+        n = self.norm()
+        if n == 0:
+            raise ValidationError("cannot normalize a zero object")
+        return self._wrap_like(self._data / n)
+
+    def expm(self) -> "Qobj":
+        """Matrix exponential of the operator."""
+        if not (self.isoper or self.issuper):
+            raise ValidationError("expm only defined for operators/superoperators")
+        return Qobj(la.expm(self._data), dims=self.dims, kind=self._kind)
+
+    def eigenenergies(self) -> np.ndarray:
+        """Eigenvalues (real for Hermitian operators, complex otherwise)."""
+        if self.isherm:
+            return la.eigvalsh(self._data)
+        return np.linalg.eigvals(self._data)
+
+    def eigenstates(self) -> tuple[np.ndarray, list["Qobj"]]:
+        """Eigenvalues and eigenvectors (as ket ``Qobj`` s)."""
+        if self.isherm:
+            vals, vecs = la.eigh(self._data)
+        else:
+            vals, vecs = np.linalg.eig(self._data)
+        kets = [Qobj(vecs[:, i], dims=[self._dims[0], [1] * len(self._dims[0])]) for i in range(vecs.shape[1])]
+        return vals, kets
+
+    def groundstate(self) -> tuple[float, "Qobj"]:
+        """Lowest eigenvalue and the corresponding eigenvector."""
+        vals, kets = self.eigenstates()
+        idx = int(np.argmin(vals.real))
+        return float(vals[idx].real), kets[idx]
+
+    def expect(self, state: "Qobj") -> complex:
+        """Expectation value of this operator in ``state`` (ket or density op)."""
+        if not self.isoper:
+            raise ValidationError("expect requires an operator")
+        if isinstance(state, Qobj) and state.isket:
+            vec = state.data
+            return complex((vec.conj().T @ self._data @ vec)[0, 0])
+        rho = qobj_to_array(state)
+        return complex(np.trace(self._data @ rho))
+
+    def overlap(self, other: "Qobj") -> complex:
+        """Inner product ``<self|other>`` for kets, ``Tr(self† other)`` for operators."""
+        other = other if isinstance(other, Qobj) else Qobj(other)
+        if self.isket and other.isket:
+            return complex((self._data.conj().T @ other._data)[0, 0])
+        return complex(np.trace(dagger(self._data) @ other._data))
+
+    def proj(self) -> "Qobj":
+        """Projector ``|psi><psi|`` for a ket."""
+        if not self.isket:
+            raise ValidationError("proj() requires a ket")
+        return Qobj(self._data @ self._data.conj().T, dims=[self._dims[0], self._dims[0]])
+
+    def ptrace(self, keep: int | Iterable[int]) -> "Qobj":
+        """Partial trace keeping the listed subsystems (see :func:`repro.qobj.tensor.ptrace`)."""
+        from .tensor import ptrace as _ptrace
+
+        return _ptrace(self, keep)
+
+    def diag(self) -> np.ndarray:
+        """Diagonal of the matrix."""
+        return np.diag(self._data).copy()
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return (
+            f"Qobj(kind={self._kind!r}, dims={self._dims!r}, shape={self.shape!r}, "
+            f"isherm={self.isherm if self.isoper else None})\n{np.array_str(self._data, precision=5)}"
+        )

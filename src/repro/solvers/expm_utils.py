@@ -1,0 +1,118 @@
+"""Matrix-exponential utilities specialized for quantum dynamics.
+
+The hot path of both the pulse simulator and GRAPE optimization is computing
+``exp(-i H dt)`` for many small Hermitian matrices ``H``.  For Hermitian
+generators an eigendecomposition (``scipy.linalg.eigh``) is both faster and
+more accurate than the general Padé ``expm`` for the small (2–16 dim)
+matrices used here, and it additionally yields the exact Fréchet derivative
+needed for exact GRAPE gradients via the Loewner (divided-difference) matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+
+__all__ = [
+    "expm_hermitian",
+    "expm_unitary_step",
+    "expm_general",
+    "expm_frechet_hermitian",
+    "expm_frechet_hermitian_multi",
+]
+
+
+def expm_general(m: np.ndarray) -> np.ndarray:
+    """General dense matrix exponential (scipy Padé); use for Liouvillians."""
+    return la.expm(np.asarray(m, dtype=complex))
+
+
+def expm_hermitian(h: np.ndarray, scale: complex = 1.0) -> np.ndarray:
+    """Compute ``exp(scale * H)`` for Hermitian ``H`` via eigendecomposition.
+
+    Parameters
+    ----------
+    h:
+        Hermitian matrix.
+    scale:
+        Scalar multiplying ``H`` inside the exponential (e.g. ``-1j * dt``).
+    """
+    h = np.asarray(h, dtype=complex)
+    evals, evecs = la.eigh(h)
+    phases = np.exp(scale * evals)
+    return (evecs * phases) @ evecs.conj().T
+
+
+def expm_unitary_step(h: np.ndarray, dt: float) -> np.ndarray:
+    """Single-step unitary propagator ``exp(-i H dt)`` for Hermitian ``H``."""
+    return expm_hermitian(h, scale=-1j * dt)
+
+
+def expm_frechet_hermitian(h: np.ndarray, direction: np.ndarray, dt: float) -> tuple[np.ndarray, np.ndarray]:
+    """Propagator and its exact Fréchet derivative for a Hermitian generator.
+
+    Computes ``U = exp(-i H dt)`` and the directional derivative
+
+        ``dU = d/dε exp(-i (H + ε E) dt) |_{ε=0}``
+
+    using the spectral (Loewner matrix / divided differences) formula:
+
+        ``dU = V [ (V† (-i dt E) V) ∘ Γ ] V†``
+
+    where ``H = V Λ V†``, ``Γ_{kl} = (e^{-i λ_k dt} - e^{-i λ_l dt}) /
+    (-i dt (λ_k - λ_l))`` for ``λ_k ≠ λ_l`` and ``Γ_{kk} = e^{-i λ_k dt}``.
+
+    This is the exact gradient used by GRAPE when ``gradient="exact"``.
+
+    Returns
+    -------
+    (U, dU):
+        The step propagator and the Fréchet derivative in direction ``E``.
+    """
+    h = np.asarray(h, dtype=complex)
+    e = np.asarray(direction, dtype=complex)
+    evals, v = la.eigh(h)
+    phases = np.exp(-1j * dt * evals)
+    u = (v * phases) @ v.conj().T
+
+    # Loewner matrix of divided differences of f(x) = exp(-i x dt)
+    lam_diff = evals[:, None] - evals[None, :]
+    phase_diff = phases[:, None] - phases[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gamma = np.where(
+            np.abs(lam_diff) > 1e-12,
+            phase_diff / np.where(np.abs(lam_diff) > 1e-12, lam_diff, 1.0),
+            -1j * dt * phases[:, None],
+        )
+    e_eig = v.conj().T @ e @ v
+    du = v @ (gamma * e_eig) @ v.conj().T
+    return u, du
+
+
+def expm_frechet_hermitian_multi(
+    h: np.ndarray, directions: list[np.ndarray] | tuple[np.ndarray, ...], dt: float
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Propagator and Fréchet derivatives for several directions at once.
+
+    Identical to :func:`expm_frechet_hermitian` but reuses the (dominant-cost)
+    eigendecomposition of ``H`` across all directions — this is the inner
+    loop of exact-gradient GRAPE, where every time slot needs the derivative
+    with respect to each control Hamiltonian.
+    """
+    h = np.asarray(h, dtype=complex)
+    evals, v = la.eigh(h)
+    phases = np.exp(-1j * dt * evals)
+    u = (v * phases) @ v.conj().T
+    lam_diff = evals[:, None] - evals[None, :]
+    phase_diff = phases[:, None] - phases[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gamma = np.where(
+            np.abs(lam_diff) > 1e-12,
+            phase_diff / np.where(np.abs(lam_diff) > 1e-12, lam_diff, 1.0),
+            -1j * dt * phases[:, None],
+        )
+    derivatives = []
+    for direction in directions:
+        e_eig = v.conj().T @ np.asarray(direction, dtype=complex) @ v
+        derivatives.append(v @ (gamma * e_eig) @ v.conj().T)
+    return u, derivatives

@@ -1,0 +1,69 @@
+"""Fixed-step Runge-Kutta integration for generic time-dependent generators.
+
+Used by the GOAT optimizer (coupled propagator/sensitivity ODEs) and as an
+alternative integration scheme in :func:`repro.solvers.sesolve.sesolve` /
+:func:`repro.solvers.mesolve.mesolve` when the Hamiltonian is supplied as a
+continuous function of time rather than piecewise-constant samples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["rk4_step", "rk4_integrate"]
+
+
+def rk4_step(f: Callable[[float, np.ndarray], np.ndarray], t: float, y: np.ndarray, dt: float) -> np.ndarray:
+    """One classical Runge-Kutta 4 step for ``dy/dt = f(t, y)``."""
+    k1 = f(t, y)
+    k2 = f(t + 0.5 * dt, y + 0.5 * dt * k1)
+    k3 = f(t + 0.5 * dt, y + 0.5 * dt * k2)
+    k4 = f(t + dt, y + dt * k3)
+    return y + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def rk4_integrate(
+    f: Callable[[float, np.ndarray], np.ndarray],
+    y0: np.ndarray,
+    times: np.ndarray,
+    substeps: int = 1,
+) -> list[np.ndarray]:
+    """Integrate ``dy/dt = f(t, y)`` over the grid ``times`` with RK4.
+
+    Parameters
+    ----------
+    f:
+        Right-hand side; must accept ``(t, y)`` and return an array of the
+        same shape as ``y``.
+    y0:
+        Initial condition at ``times[0]``.
+    times:
+        Monotonically increasing time grid; a state is stored at every entry.
+    substeps:
+        Number of RK4 sub-steps per grid interval (for accuracy without
+        storing intermediate states).
+
+    Returns
+    -------
+    list of arrays, one per entry of ``times`` (the first is ``y0``).
+    """
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 1 or times.size < 1:
+        raise ValueError("times must be a non-empty 1-D array")
+    if np.any(np.diff(times) <= 0):
+        raise ValueError("times must be strictly increasing")
+    if substeps < 1:
+        raise ValueError(f"substeps must be >= 1, got {substeps}")
+    y = np.array(y0, dtype=complex, copy=True)
+    out = [y.copy()]
+    for i in range(times.size - 1):
+        t0, t1 = times[i], times[i + 1]
+        h = (t1 - t0) / substeps
+        t = t0
+        for _ in range(substeps):
+            y = rk4_step(f, t, y, h)
+            t += h
+        out.append(y.copy())
+    return out

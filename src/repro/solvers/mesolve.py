@@ -1,0 +1,122 @@
+"""Lindblad master-equation solver.
+
+Evolves a density matrix under
+
+    ``dρ/dt = -i [H(t), ρ] + Σ_k ( C_k ρ C_k† - {C_k† C_k, ρ}/2 )``
+
+with either a piecewise-constant Hamiltonian (exact exponential of the slot
+Liouvillian — the form used by the pulse-level backend simulator) or a
+callable ``H(t)`` (RK4 on the vectorized master equation).
+
+Collapse operators are supplied *already scaled* by the square root of their
+rates, e.g. amplitude damping is ``sqrt(1/T1) · σ₋``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .integrators import rk4_integrate
+from .propagator import assemble_pwc_hamiltonians
+from .result import SolverResult
+from .expm_utils import expm_general
+from ..qobj.qobj import qobj_to_array
+from ..qobj.superop import liouvillian
+from ..utils.linalg import vec, unvec
+from ..utils.validation import ValidationError
+
+__all__ = ["mesolve"]
+
+
+def _as_density(state) -> np.ndarray:
+    arr = qobj_to_array(state)
+    if arr.ndim == 1 or (arr.ndim == 2 and arr.shape[1] == 1):
+        v = arr.reshape(-1, 1)
+        return v @ v.conj().T
+    return np.array(arr, dtype=complex, copy=True)
+
+
+def mesolve(
+    hamiltonian,
+    initial_state,
+    times: np.ndarray | None = None,
+    dt: float | None = None,
+    c_ops: Sequence | None = None,
+    e_ops: Sequence | None = None,
+    store_states: bool = True,
+    substeps: int = 4,
+) -> SolverResult:
+    """Solve the Lindblad master equation.
+
+    Parameters mirror :func:`repro.solvers.sesolve.sesolve`; ``initial_state``
+    may be a ket (converted to a projector) or a density matrix, and
+    ``c_ops`` is the list of collapse operators.
+
+    Returns
+    -------
+    SolverResult
+        ``states`` holds density matrices.
+    """
+    rho0 = _as_density(initial_state)
+    d = rho0.shape[0]
+    c_arrs = [qobj_to_array(c) for c in (c_ops or [])]
+    e_arrs = [qobj_to_array(e) for e in (e_ops or [])]
+
+    if isinstance(hamiltonian, tuple) and len(hamiltonian) == 3:
+        drift, controls, amps = hamiltonian
+        amps = np.asarray(amps, dtype=float)
+        if dt is None:
+            if times is None or len(times) != amps.shape[1] + 1:
+                raise ValidationError(
+                    "PWC mesolve requires dt, or times with n_slots + 1 entries"
+                )
+            dts = np.diff(np.asarray(times, dtype=float))
+        else:
+            dts = np.full(amps.shape[1], float(dt))
+            if times is None:
+                times = np.concatenate([[0.0], np.cumsum(dts)])
+        h_slots = assemble_pwc_hamiltonians(drift, controls, amps)
+        diss = None
+        if c_arrs:
+            diss = liouvillian(np.zeros((d, d), dtype=complex), c_arrs)
+        states = [rho0.copy()]
+        rho_vec = vec(rho0)
+        for h, step in zip(h_slots, dts):
+            lv = liouvillian(h, None)
+            if diss is not None:
+                lv = lv + diss
+            rho_vec = expm_general(lv * step) @ rho_vec
+            states.append(unvec(rho_vec, (d, d)))
+        method = "pwc-expm"
+    else:
+        if times is None:
+            raise ValidationError("mesolve with a callable/constant Hamiltonian requires times")
+        times = np.asarray(times, dtype=float)
+        if callable(hamiltonian):
+            h_of_t = hamiltonian
+        else:
+            h_const = qobj_to_array(hamiltonian)
+            h_of_t = lambda t: h_const  # noqa: E731
+        diss = None
+        if c_arrs:
+            diss = liouvillian(np.zeros((d, d), dtype=complex), c_arrs)
+
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            lv = liouvillian(qobj_to_array(h_of_t(t)), None)
+            if diss is not None:
+                lv = lv + diss
+            return lv @ y
+
+        vec_states = rk4_integrate(rhs, vec(rho0), times, substeps=substeps)
+        states = [unvec(v, (d, d)) for v in vec_states]
+        method = "rk4"
+
+    times = np.asarray(times, dtype=float)
+    expect: dict[int, np.ndarray] = {}
+    for idx, op in enumerate(e_arrs):
+        expect[idx] = np.array([complex(np.trace(op @ s)) for s in states])
+    if not store_states:
+        states = [states[-1]]
+    return SolverResult(times=times, states=states, expect=expect, metadata={"method": method, "n_collapse_ops": len(c_arrs)})

@@ -1,0 +1,50 @@
+"""Common result container for the dynamics solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SolverResult"]
+
+
+@dataclass
+class SolverResult:
+    """Result of a time-evolution solve.
+
+    Attributes
+    ----------
+    times:
+        The time grid at which states were stored.
+    states:
+        List of states (kets, density matrices, or propagators) at each time
+        in ``times``.  Always stored as plain ``numpy.ndarray``.
+    expect:
+        Dictionary mapping the index of each requested expectation operator
+        to the array of expectation values over ``times``.
+    final_state:
+        Convenience accessor for ``states[-1]``.
+    metadata:
+        Free-form solver metadata (method name, step counts, etc.).
+    """
+
+    times: np.ndarray
+    states: list[np.ndarray] = field(default_factory=list)
+    expect: dict[int, np.ndarray] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_state(self) -> np.ndarray:
+        if not self.states:
+            raise ValueError("no states were stored in this result")
+        return self.states[-1]
+
+    def __repr__(self) -> str:
+        n_states = len(self.states)
+        shape = self.states[0].shape if self.states else None
+        return (
+            f"SolverResult(n_times={len(self.times)}, n_states={n_states}, "
+            f"state_shape={shape}, expect_keys={sorted(self.expect)})"
+        )

@@ -1,0 +1,126 @@
+"""Schrödinger-equation solver for states and unitaries.
+
+Supports two ways of specifying the time dependence:
+
+* **piecewise-constant** — ``hamiltonian`` is a ``(drift, controls,
+  amplitudes)`` triple exactly as produced by the pulse layer; each time slot
+  is propagated with an exact matrix exponential;
+* **callable** — ``hamiltonian`` is a function ``H(t)`` returning the full
+  Hamiltonian matrix; integration uses fixed-step RK4.
+
+Units: Hamiltonians are in angular-frequency units (rad / time-unit), i.e.
+``i d|ψ>/dt = H |ψ>`` with ``ħ = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .expm_utils import expm_unitary_step
+from .integrators import rk4_integrate
+from .propagator import assemble_pwc_hamiltonians
+from .result import SolverResult
+from ..qobj.qobj import Qobj, qobj_to_array
+from ..utils.validation import ValidationError
+
+__all__ = ["sesolve"]
+
+
+def _expectation(op: np.ndarray, state: np.ndarray) -> complex:
+    if state.shape[1] == 1:  # ket
+        return complex((state.conj().T @ op @ state)[0, 0])
+    return complex(np.trace(op @ state))
+
+
+def sesolve(
+    hamiltonian,
+    initial_state,
+    times: np.ndarray | None = None,
+    dt: float | None = None,
+    e_ops: Sequence | None = None,
+    store_states: bool = True,
+    substeps: int = 4,
+) -> SolverResult:
+    """Solve the Schrödinger equation for a ket or a propagator.
+
+    Parameters
+    ----------
+    hamiltonian:
+        Either a constant matrix, a callable ``H(t)``, or a PWC triple
+        ``(drift, [controls...], amplitudes)`` with amplitudes of shape
+        ``(n_controls, n_slots)``.
+    initial_state:
+        Initial ket (column vector) or initial unitary/matrix (for
+        propagator evolution, pass the identity).
+    times:
+        Time grid.  For PWC Hamiltonians it defaults to the slot boundaries
+        ``0, dt, 2 dt, ...`` and must not be supplied together with ``dt``
+        mismatch.
+    dt:
+        Slot duration for PWC evolution (required for the PWC form when
+        ``times`` is omitted).
+    e_ops:
+        Optional sequence of operators whose expectation values are recorded
+        at every stored time.
+    store_states:
+        Whether to store the state at every time point (the final state is
+        always stored).
+    substeps:
+        RK4 substeps per interval for callable Hamiltonians.
+
+    Returns
+    -------
+    SolverResult
+    """
+    psi0 = qobj_to_array(initial_state)
+    if psi0.ndim == 1:
+        psi0 = psi0.reshape(-1, 1)
+    e_arrs = [qobj_to_array(e) for e in (e_ops or [])]
+
+    if isinstance(hamiltonian, tuple) and len(hamiltonian) == 3:
+        drift, controls, amps = hamiltonian
+        amps = np.asarray(amps, dtype=float)
+        if dt is None:
+            if times is None or len(times) != amps.shape[1] + 1:
+                raise ValidationError(
+                    "PWC sesolve requires dt, or times with n_slots + 1 entries"
+                )
+            dts = np.diff(np.asarray(times, dtype=float))
+        else:
+            dts = np.full(amps.shape[1], float(dt))
+            if times is None:
+                times = np.concatenate([[0.0], np.cumsum(dts)])
+        h_slots = assemble_pwc_hamiltonians(drift, controls, amps)
+        states = [psi0.copy()]
+        psi = psi0.copy()
+        for h, step in zip(h_slots, dts):
+            u = expm_unitary_step(h, step)
+            psi = u @ psi
+            states.append(psi.copy())
+        method = "pwc-expm"
+    else:
+        if times is None:
+            raise ValidationError("sesolve with a callable/constant Hamiltonian requires times")
+        times = np.asarray(times, dtype=float)
+        if callable(hamiltonian):
+            h_of_t = hamiltonian
+        else:
+            h_const = qobj_to_array(hamiltonian)
+            h_of_t = lambda t: h_const  # noqa: E731 - tiny closure is clearest here
+
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            return -1j * (qobj_to_array(h_of_t(t)) @ y)
+
+        states = rk4_integrate(rhs, psi0, times, substeps=substeps)
+        method = "rk4"
+
+    times = np.asarray(times, dtype=float)
+    expect: dict[int, np.ndarray] = {}
+    if e_arrs:
+        for idx, op in enumerate(e_arrs):
+            expect[idx] = np.array([_expectation(op, s) for s in states])
+    if not store_states:
+        states = [states[-1]]
+    return SolverResult(times=times, states=[np.asarray(s) for s in states], expect=expect, metadata={"method": method})

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped fixtures hold the expensive objects (device snapshots, a
+calibrated backend, the Clifford groups) so the several hundred tests reuse
+them instead of rebuilding per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import PulseBackend, SimulationOptions
+from repro.devices import fake_montreal, fake_toronto
+
+
+@pytest.fixture(scope="session")
+def montreal_props():
+    """Nominal fake_montreal calibration snapshot."""
+    return fake_montreal()
+
+
+@pytest.fixture(scope="session")
+def toronto_props():
+    return fake_toronto()
+
+
+@pytest.fixture(scope="session")
+def backend(montreal_props):
+    """A montreal backend with qubits 0 and 1 calibrated (shared, read-only)."""
+    return PulseBackend(montreal_props, calibrated_qubits=[0, 1], seed=1234)
+
+
+@pytest.fixture(scope="session")
+def noiseless_backend(montreal_props):
+    """Backend without decoherence, for closed-system checks."""
+    options = SimulationOptions(include_decoherence=False)
+    return PulseBackend(montreal_props, options=options, calibrated_qubits=[0, 1], seed=99)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

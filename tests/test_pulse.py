@@ -1,0 +1,320 @@
+"""Tests for the pulse layer: shapes, channels, instructions, schedules, builder, ISM, calibrations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import fake_montreal
+from repro.pulse import (
+    AcquireChannel,
+    Acquire,
+    Constant,
+    ControlChannel,
+    Delay,
+    Drag,
+    DriveChannel,
+    Gaussian,
+    GaussianSquare,
+    InstructionScheduleMap,
+    MemorySlot,
+    Play,
+    Schedule,
+    SetPhase,
+    ShiftPhase,
+    Sine,
+    Waveform,
+    build,
+    default_drag_sx,
+    default_drag_x,
+    default_cx_schedule,
+    default_instruction_schedule_map,
+    pwc_waveform,
+)
+from repro.pulse.calibrations import calibrated_amplitude, control_channel_index, pulse_area_ns
+from repro.utils.validation import ValidationError
+
+
+class TestShapes:
+    def test_waveform_rejects_over_unit_amplitude(self):
+        with pytest.raises(ValidationError):
+            Waveform([1.5])
+
+    def test_waveform_clips_tiny_overshoot(self):
+        w = Waveform([1.0 + 5e-7])
+        assert abs(w.samples[0]) <= 1.0 + 1e-12
+
+    def test_constant_shape(self):
+        w = Constant(duration=10, amp=0.5).get_waveform()
+        assert w.duration == 10
+        assert np.allclose(w.samples, 0.5)
+
+    def test_gaussian_peaks_at_center_and_lifts_edges(self):
+        w = Gaussian(duration=100, amp=0.8, sigma=20).get_waveform()
+        assert np.argmax(np.abs(w.samples)) in (49, 50)
+        assert abs(w.samples[0]) < 0.01
+        assert abs(w.samples).max() <= 0.8 + 1e-9
+
+    def test_drag_has_quadrature_component(self):
+        w = Drag(duration=100, amp=0.5, sigma=25, beta=2.0).get_waveform()
+        assert np.max(np.abs(w.samples.imag)) > 0
+        # quadrature is antisymmetric about the centre
+        assert np.allclose(w.samples.imag, -w.samples.imag[::-1], atol=1e-10)
+
+    def test_drag_zero_beta_is_gaussian(self):
+        g = Gaussian(duration=80, amp=0.3, sigma=20).get_waveform()
+        d = Drag(duration=80, amp=0.3, sigma=20, beta=0.0).get_waveform()
+        assert np.allclose(g.samples, d.samples)
+
+    def test_gaussian_square_flat_top(self):
+        w = GaussianSquare(duration=200, amp=0.6, sigma=10, width=120).get_waveform()
+        mid = w.samples[80:120]
+        assert np.allclose(mid, 0.6, atol=1e-6)
+
+    def test_gaussian_square_width_validation(self):
+        with pytest.raises(ValidationError):
+            GaussianSquare(duration=100, amp=0.5, sigma=10, width=200)
+
+    def test_sine_shape(self):
+        w = Sine(duration=50, amp=0.4).get_waveform()
+        assert abs(w.samples[25]) == pytest.approx(0.4, rel=1e-2)
+        assert abs(w.samples[0]) < 0.05
+
+    def test_amp_bound_validation(self):
+        with pytest.raises(ValidationError):
+            Constant(duration=10, amp=1.5)
+
+    def test_parameters_dict(self):
+        p = Drag(duration=10, amp=0.1, sigma=3, beta=1.0)
+        params = p.parameters
+        assert params["duration"] == 10 and params["beta"] == 1.0
+
+    def test_pwc_waveform_repeats_slots(self):
+        w = pwc_waveform([0.1, -0.2], [0.0, 0.3], samples_per_slot=3)
+        assert w.duration == 6
+        assert np.allclose(w.samples[:3], 0.1)
+        assert np.allclose(w.samples[3:], -0.2 + 0.3j)
+
+    def test_pwc_waveform_normalize(self):
+        w = pwc_waveform([2.0], samples_per_slot=2, normalize=True)
+        assert abs(w.samples[0]) == pytest.approx(1.0)
+
+    def test_pwc_waveform_mismatched_rows(self):
+        with pytest.raises(ValidationError):
+            pwc_waveform([0.1, 0.2], [0.1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    duration=st.integers(min_value=4, max_value=400),
+    amp=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    sigma=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+)
+def test_gaussian_samples_always_bounded(duration, amp, sigma):
+    w = Gaussian(duration=duration, amp=amp, sigma=sigma).get_waveform()
+    assert np.all(np.abs(w.samples) <= 1.0 + 1e-9)
+    assert w.duration == duration
+
+
+class TestChannelsInstructions:
+    def test_channel_identity(self):
+        assert DriveChannel(0) == DriveChannel(0)
+        assert DriveChannel(0) != DriveChannel(1)
+        assert DriveChannel(0) != ControlChannel(0)
+        assert DriveChannel(3).name == "d3"
+
+    def test_channel_hashable_and_sortable(self):
+        chans = {DriveChannel(1), DriveChannel(1), ControlChannel(0)}
+        assert len(chans) == 2
+        # drive channels ('d') sort before control channels ('u')
+        assert sorted([ControlChannel(0), DriveChannel(1)])[0] == DriveChannel(1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            DriveChannel(-1)
+
+    def test_play_duration_from_pulse(self):
+        play = Play(Constant(duration=16, amp=0.1), DriveChannel(0))
+        assert play.duration == 16
+
+    def test_shift_phase_zero_duration(self):
+        assert ShiftPhase(0.3, DriveChannel(0)).duration == 0
+
+    def test_acquire_requires_acquire_channel(self):
+        with pytest.raises(ValidationError):
+            Acquire(100, DriveChannel(0), MemorySlot(0))
+
+
+class TestSchedule:
+    def test_append_sequential_on_same_channel(self):
+        sched = Schedule()
+        sched.append(Play(Constant(duration=10, amp=0.1), DriveChannel(0)))
+        sched.append(Play(Constant(duration=5, amp=0.2), DriveChannel(0)))
+        assert sched.duration == 15
+        starts = [t for t, _ in sched.instructions]
+        assert starts == [0, 10]
+
+    def test_append_parallel_on_different_channels(self):
+        sched = Schedule()
+        sched.append(Play(Constant(duration=10, amp=0.1), DriveChannel(0)))
+        sched.append(Play(Constant(duration=8, amp=0.1), DriveChannel(1)))
+        assert sched.duration == 10
+        assert sched.channel_duration(DriveChannel(1)) == 8
+
+    def test_append_align_sequential(self):
+        sched = Schedule()
+        sched.append(Play(Constant(duration=10, amp=0.1), DriveChannel(0)))
+        sched.append(Play(Constant(duration=4, amp=0.1), DriveChannel(1)), align="sequential")
+        assert sched.instructions[-1][0] == 10
+
+    def test_insert_and_shift(self):
+        sched = Schedule()
+        sched.insert(5, Play(Constant(duration=3, amp=0.1), DriveChannel(0)))
+        shifted = sched.shift(7)
+        assert shifted.instructions[0][0] == 12
+
+    def test_channel_samples_sum_and_phase(self):
+        sched = Schedule()
+        sched.append(Play(Constant(duration=4, amp=0.5), DriveChannel(0)))
+        sched.append(ShiftPhase(np.pi / 2, DriveChannel(0)))
+        sched.append(Play(Constant(duration=4, amp=0.5), DriveChannel(0)))
+        samples = sched.channel_samples(DriveChannel(0))
+        assert np.allclose(samples[:4], 0.5)
+        assert np.allclose(samples[4:], 0.5j, atol=1e-12)
+
+    def test_set_phase_overrides(self):
+        sched = Schedule()
+        sched.append(ShiftPhase(1.0, DriveChannel(0)))
+        sched.append(SetPhase(np.pi, DriveChannel(0)))
+        sched.append(Play(Constant(duration=2, amp=1.0), DriveChannel(0)))
+        samples = sched.channel_samples(DriveChannel(0))
+        assert np.allclose(samples, -1.0)
+
+    def test_filter_by_channel(self):
+        sched = Schedule()
+        sched.append(Play(Constant(duration=4, amp=0.1), DriveChannel(0)))
+        sched.append(Play(Constant(duration=4, amp=0.1), DriveChannel(1)))
+        filtered = sched.filter(channels=[DriveChannel(1)])
+        assert len(filtered) == 1
+
+    def test_union_and_concatenation(self):
+        a = Schedule()
+        a.append(Play(Constant(duration=4, amp=0.1), DriveChannel(0)))
+        b = Schedule()
+        b.append(Play(Constant(duration=6, amp=0.1), DriveChannel(0)))
+        assert (a | b).duration == 6
+        assert (a + b).duration == 10
+
+    def test_invalid_insert_time(self):
+        with pytest.raises(ValidationError):
+            Schedule().insert(-1, Delay(4, DriveChannel(0)))
+
+
+class TestBuilder:
+    def test_builder_produces_schedule(self):
+        with build(name="test") as b:
+            b.play(Constant(duration=8, amp=0.2), DriveChannel(0))
+            b.shift_phase(0.5, DriveChannel(0))
+            b.delay(4, DriveChannel(0))
+            b.acquire(100, 0)
+        sched = b.schedule
+        assert sched.duration == 8 + 4 + 100
+        assert sched.name == "test"
+        assert len(sched.acquires()) == 1
+
+    def test_builder_barrier(self):
+        with build() as b:
+            b.play(Constant(duration=10, amp=0.1), DriveChannel(0))
+            b.play(Constant(duration=4, amp=0.1), DriveChannel(1))
+            b.barrier()
+            b.play(Constant(duration=2, amp=0.1), DriveChannel(1))
+        assert b.schedule.channel_duration(DriveChannel(1)) == 12
+
+    def test_builder_call_subschedule(self):
+        sub = Schedule()
+        sub.append(Play(Constant(duration=6, amp=0.1), DriveChannel(0)))
+        with build() as b:
+            b.call(sub)
+            b.call(sub)
+        assert b.schedule.duration == 12
+
+
+class TestInstructionScheduleMap:
+    def test_add_get_has(self):
+        ism = InstructionScheduleMap()
+        sched = Schedule()
+        ism.add("x", 0, sched)
+        assert ism.has("x", 0)
+        assert ism.get("X", (0,)) is sched
+        assert not ism.has("x", 1)
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            InstructionScheduleMap().get("x", 0)
+
+    def test_override_replaces(self):
+        ism = InstructionScheduleMap()
+        a, b = Schedule(name="a"), Schedule(name="b")
+        ism.add("x", 0, a)
+        ism.add("x", 0, b)
+        assert ism.get("x", 0).name == "b"
+
+    def test_instructions_and_qubits(self):
+        ism = InstructionScheduleMap()
+        ism.add("x", 0, Schedule())
+        ism.add("cx", (0, 1), Schedule())
+        assert ism.instructions == ["cx", "x"]
+        assert ism.qubits_with_instruction("cx") == [(0, 1)]
+
+    def test_copy_independent(self):
+        ism = InstructionScheduleMap()
+        ism.add("x", 0, Schedule())
+        copy = ism.copy()
+        copy.remove("x", 0)
+        assert ism.has("x", 0) and not copy.has("x", 0)
+
+
+class TestDefaultCalibrations:
+    def test_calibrated_amplitude_formula(self):
+        # 2*pi*rate*A*area = angle
+        amp = calibrated_amplitude(unit_area_ns=10.0, target_angle=np.pi, rate_per_amp_ghz=0.05)
+        assert amp == pytest.approx(np.pi / (2 * np.pi * 0.05 * 10.0))
+
+    def test_default_x_rotation_area(self, montreal_props):
+        q = montreal_props.qubit(0)
+        sched = default_drag_x(0, q, montreal_props.dt)
+        area = pulse_area_ns(sched.plays()[0][1].pulse, montreal_props.dt)
+        angle = 2 * np.pi * q.drive_strength * area
+        assert angle == pytest.approx(np.pi, rel=1e-6)
+        # an intentional miscalibration scales the rotation angle accordingly
+        sched_err = default_drag_x(0, q, montreal_props.dt, amplitude_error=0.02)
+        area_err = pulse_area_ns(sched_err.plays()[0][1].pulse, montreal_props.dt)
+        assert 2 * np.pi * q.drive_strength * area_err == pytest.approx(1.02 * np.pi, rel=1e-6)
+
+    def test_default_sx_half_area_of_x(self, montreal_props):
+        q = montreal_props.qubit(0)
+        x_area = pulse_area_ns(default_drag_x(0, q, montreal_props.dt, amplitude_error=0).plays()[0][1].pulse, montreal_props.dt)
+        sx_area = pulse_area_ns(default_drag_sx(0, q, montreal_props.dt, amplitude_error=0).plays()[0][1].pulse, montreal_props.dt)
+        assert sx_area == pytest.approx(x_area / 2, rel=1e-6)
+
+    def test_default_cx_schedule_channels(self, montreal_props):
+        sched = default_cx_schedule(montreal_props, 0, 1)
+        channel_names = {ch.name for ch in sched.channels}
+        u_index = control_channel_index(montreal_props, 0, 1)
+        assert f"u{u_index}" in channel_names
+        assert "d1" in channel_names  # the target sx pulse
+        # virtual Z on the control
+        assert any(isinstance(inst, ShiftPhase) for _, inst in sched.instructions)
+
+    def test_control_channel_index_requires_coupling(self, montreal_props):
+        with pytest.raises(ValidationError):
+            control_channel_index(montreal_props, 0, 5)
+
+    def test_default_ism_contents(self, montreal_props):
+        ism = default_instruction_schedule_map(montreal_props, qubits=[0, 1])
+        assert ism.has("x", 0) and ism.has("sx", 1) and ism.has("measure", 0)
+        assert ism.has("cx", (0, 1)) and ism.has("cx", (1, 0))
+
+    def test_default_ism_without_cx(self, montreal_props):
+        ism = default_instruction_schedule_map(montreal_props, qubits=[0], include_cx=False)
+        assert not ism.has("cx", (0, 1))
