@@ -9,10 +9,14 @@ discussion.
 from repro.experiments import figures
 
 
-def test_fig3_x_irb(benchmark, save_results):
+def test_fig3_x_irb(benchmark, save_results, bench_metrics):
     data = benchmark.pedantic(figures.fig3_x_irb, kwargs={"seed": 2022, "fast": True}, rounds=1, iterations=1)
     assert data["custom_error_rate"] < data["default_error_rate"]
     assert data["histogram_probabilities"].get("1", 0.0) > 0.8
+    bench_metrics["fig3_x_irb"] = {
+        "custom_error_rate": float(data["custom_error_rate"]),
+        "default_error_rate": float(data["default_error_rate"]),
+    }
     save_results(
         "fig3_x_irb",
         {

@@ -1,0 +1,90 @@
+"""Batched RB execution engine vs. the per-circuit reference path.
+
+This is the benchmark behind the execution-engine acceptance criteria: the
+same interleaved-RB workload (reference + interleaved curves of the default
+X gate) is executed twice on identical backends —
+
+* ``circuits``: every sequence is transpiled and composed gate-by-gate (the
+  seed implementation's execution path),
+* ``channels``: sequences are composed from cached per-Clifford
+  superoperator channels (the batched engine).
+
+Both engines draw identical per-sequence sampling seeds, so the survival
+statistics — and hence the fitted error-per-Clifford — must agree to well
+below 1e-6.  The measured wall-clock ratio is the engine speedup recorded in
+``BENCH_rb.json`` and compared by CI against the committed baseline.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.backend import PulseBackend
+from repro.benchmarking import InterleavedRBExperiment
+from repro.circuits.gate import Gate
+from repro.devices import fake_montreal
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _run_engine(engine: str, lengths, n_seeds, shots) -> tuple[float, object]:
+    backend = PulseBackend(fake_montreal(), calibrated_qubits=[0, 1], seed=2022)
+    experiment = InterleavedRBExperiment(
+        backend,
+        Gate.standard("x"),
+        [0],
+        lengths=lengths,
+        n_seeds=n_seeds,
+        shots=shots,
+        seed=2022,
+        engine=engine,
+    )
+    start = time.perf_counter()
+    result = experiment.run()
+    return time.perf_counter() - start, result
+
+
+def _compare_engines():
+    lengths = (1, 16, 48, 96, 160, 240) if not SMOKE else (1, 8, 16)
+    n_seeds = 6 if not SMOKE else 2
+    shots = 400 if not SMOKE else 100
+    wall_circuits, loop = _run_engine("circuits", lengths, n_seeds, shots)
+    wall_channels, fast = _run_engine("channels", lengths, n_seeds, shots)
+    return {
+        "wall_clock_circuits_s": wall_circuits,
+        "wall_clock_channels_s": wall_channels,
+        "speedup": wall_circuits / wall_channels,
+        "epc_reference_circuits": loop.reference.error_per_clifford,
+        "epc_reference_channels": fast.reference.error_per_clifford,
+        "epc_interleaved_circuits": loop.interleaved.error_per_clifford,
+        "epc_interleaved_channels": fast.interleaved.error_per_clifford,
+        "gate_error_circuits": loop.gate_error,
+        "gate_error_channels": fast.gate_error,
+        "epc_abs_diff": abs(
+            loop.reference.error_per_clifford - fast.reference.error_per_clifford
+        ),
+        "gate_error_abs_diff": abs(loop.gate_error - fast.gate_error),
+        "max_survival_abs_diff": float(
+            np.max(
+                np.abs(loop.interleaved.survival_mean - fast.interleaved.survival_mean)
+            )
+        ),
+    }
+
+
+def test_rb_engine_speedup(benchmark, save_results, bench_metrics):
+    data = benchmark.pedantic(_compare_engines, rounds=1, iterations=1)
+    # correctness: the engines must agree essentially exactly
+    assert data["epc_abs_diff"] <= 1e-6
+    assert data["gate_error_abs_diff"] <= 1e-6
+    assert data["max_survival_abs_diff"] <= 1e-6
+    if not SMOKE:
+        # the acceptance floor for the batched engine on the IRB workload
+        assert data["speedup"] >= 10.0, f"engine speedup regressed: {data['speedup']:.1f}x"
+    bench_metrics["rb_engine"] = {
+        "wall_clock_s": data["wall_clock_channels_s"],
+        "speedup": data["speedup"],
+        "epc_abs_diff": data["epc_abs_diff"],
+    }
+    save_results("rb_engine", data)

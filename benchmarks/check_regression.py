@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Compare a benchmark run's BENCH_rb.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current benchmarks/results/BENCH_rb.json \
+        --baseline benchmarks/BENCH_rb.baseline.json \
+        [--tolerance 0.2] [--wall-clock check|warn|skip]
+
+Checks performed (exit code 1 on any failure):
+
+* every **metric** present in both files is compared:
+  - keys containing ``speedup`` must be within ``±tolerance`` (relative) of
+    the baseline *or better* (a faster engine never fails the check),
+  - keys containing ``abs_diff`` must stay below ``1e-6`` (engine
+    equivalence),
+  - other numeric metric keys are compared with ``±tolerance`` relative,
+* every **wall-clock** entry present in both files is compared with
+  ``±tolerance`` relative (faster is allowed).  Raw wall clock is strongly
+  machine-dependent, so CI on heterogeneous runners may demote this to a
+  warning with ``--wall-clock warn`` while still enforcing the
+  machine-independent speedup/equivalence metrics.
+
+A smoke-mode run (``REPRO_BENCH_SMOKE=1``) is refused: reduced-size numbers
+are not comparable to the full baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+EQUIVALENCE_LIMIT = 1e-6
+
+
+def _compare_value(
+    name: str,
+    current: float,
+    baseline: float,
+    tolerance: float,
+    speedup_floor: float | None = None,
+) -> str | None:
+    """Return a failure message, or None if the value is acceptable."""
+    if "abs_diff" in name:
+        if current > EQUIVALENCE_LIMIT:
+            return f"{name}: equivalence violated ({current:.3e} > {EQUIVALENCE_LIMIT:.0e})"
+        return None
+    if "speedup" in name:
+        # faster never fails; --speedup-floor replaces the relative rule with
+        # the machine-independent acceptance floor (for heterogeneous CI runners)
+        threshold = speedup_floor if speedup_floor is not None else baseline * (1.0 - tolerance)
+        if current < threshold:
+            return (
+                f"{name}: regressed to {current:.2f} "
+                f"(threshold {threshold:.2f}, baseline {baseline:.2f})"
+            )
+        return None
+    if "wall_clock" in name:
+        # one-sided: only being slower than baseline is a regression
+        if current > baseline * (1.0 + tolerance):
+            return (
+                f"{name}: {current:.3f}s exceeds baseline {baseline:.3f}s "
+                f"by more than {tolerance:.0%}"
+            )
+        return None
+    if baseline == 0:
+        return None
+    rel = abs(current - baseline) / abs(baseline)
+    if rel > tolerance:
+        return (
+            f"{name}: {current:.4g} deviates {rel:.0%} from baseline "
+            f"{baseline:.4g} (tolerance ±{tolerance:.0%})"
+        )
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", type=Path, default=Path("benchmarks/results/BENCH_rb.json"))
+    parser.add_argument("--baseline", type=Path, default=Path("benchmarks/BENCH_rb.baseline.json"))
+    parser.add_argument("--tolerance", type=float, default=0.2, help="relative tolerance (default ±20%%)")
+    parser.add_argument(
+        "--wall-clock",
+        choices=("check", "warn", "skip"),
+        default="check",
+        help="how to treat raw wall-clock deviations (default: check)",
+    )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=None,
+        help=(
+            "absolute floor for 'speedup' metrics, replacing the relative-to-"
+            "baseline rule (use on heterogeneous CI runners where the measured "
+            "baseline ratio is machine-dependent)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    for label, path in (("current", args.current), ("baseline", args.baseline)):
+        if not path.exists():
+            print(f"{label} file not found: {path}", file=sys.stderr)
+            return 1
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    if current.get("smoke"):
+        print("refusing to compare a smoke-mode run against the full baseline", file=sys.stderr)
+        return 1
+
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    for bench, base_metrics in baseline.get("metrics", {}).items():
+        cur_metrics = current.get("metrics", {}).get(bench)
+        if cur_metrics is None:
+            failures.append(f"metrics[{bench}]: missing from current run")
+            continue
+        for key, base_val in base_metrics.items():
+            if not isinstance(base_val, (int, float)) or key not in cur_metrics:
+                continue
+            message = _compare_value(
+                f"metrics[{bench}].{key}",
+                cur_metrics[key],
+                base_val,
+                args.tolerance,
+                speedup_floor=args.speedup_floor,
+            )
+            if message is None:
+                continue
+            if "wall_clock" in key and args.wall_clock != "check":
+                if args.wall_clock == "warn":
+                    warnings.append(message)
+                continue
+            failures.append(message)
+
+    if args.wall_clock != "skip":
+        for bench, base_wall in baseline.get("wall_clock_s", {}).items():
+            cur_wall = current.get("wall_clock_s", {}).get(bench)
+            if cur_wall is None:
+                continue
+            if cur_wall <= base_wall * (1.0 + args.tolerance):
+                continue
+            message = (
+                f"wall_clock_s[{bench}]: {cur_wall:.3f}s exceeds baseline "
+                f"{base_wall:.3f}s by more than {args.tolerance:.0%}"
+            )
+            (warnings if args.wall_clock == "warn" else failures).append(message)
+
+    for message in warnings:
+        print(f"WARNING: {message}")
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"benchmark regression check passed ({args.current} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

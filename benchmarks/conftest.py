@@ -5,16 +5,41 @@ Every bench regenerates the data behind one table or figure of the paper and
 regenerated rows/series, and (c) writes them to
 ``benchmarks/results/<name>.txt`` so the numbers are preserved next to the
 timing output.
+
+The harness additionally emits ``benchmarks/results/BENCH_rb.json`` — the
+machine-readable summary (per-bench wall clock plus the metrics benches
+register through the ``bench_metrics`` fixture) that CI uploads as an
+artifact and compares against the committed baseline via
+``benchmarks/check_regression.py``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SMOKE=1`` (set by the CI benchmark-smoke job) — reduced-size
+  smoke mode: benches that support it shrink their workload, and the emitted
+  JSON is tagged so the regression checker refuses to compare smoke numbers
+  against the full baseline.
+* ``REPRO_MAX_OPT_ITER=N`` (manual knob, not set by CI) — cap every
+  pulse-optimization iteration budget (see
+  ``repro.experiments.gates.optimize_gate_pulse``); capped runs may not
+  converge, so convergence-dependent bench assertions can fail under it.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_rb.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+_wall_clocks: dict[str, float] = {}
+_metrics: dict[str, dict] = {}
 
 
 def _format_value(value) -> str:
@@ -43,3 +68,37 @@ def save_results():
         return text
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def bench_metrics():
+    """Session dict benches use to register named metrics for BENCH_rb.json.
+
+    Usage: ``bench_metrics["rb_engine"] = {"speedup": ..., ...}``.
+    """
+    return _metrics
+
+
+@pytest.fixture(scope="session")
+def smoke_mode() -> bool:
+    """Whether the reduced-size CI smoke mode is active."""
+    return SMOKE
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    yield
+    _wall_clocks[item.name] = time.perf_counter() - start
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _wall_clocks:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "smoke": SMOKE,
+        "wall_clock_s": {name: round(wall, 4) for name, wall in sorted(_wall_clocks.items())},
+        "metrics": _metrics,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -25,9 +25,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .noise import apply_readout_error, depolarizing_superop, embed_channel, readout_confusion_matrix
+from .noise import depolarizing_superop, embed_channel, readout_confusion_matrix
 from .pulse_simulator import PulseSimulator, SimulationOptions
 from .result import Result
+from .sampling import channel_output_probabilities, sample_measurement
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Barrier, Gate, Measurement
 from ..circuits.scheduler import schedule_circuit
@@ -37,7 +38,7 @@ from ..pulse.calibrations import default_instruction_schedule_map
 from ..pulse.instruction_schedule_map import InstructionScheduleMap
 from ..pulse.schedule import Schedule
 from ..qobj.gates import rz_gate, standard_gate_unitary
-from ..qobj.superop import apply_superop, unitary_superop
+from ..qobj.superop import unitary_superop
 from ..utils.seeding import default_rng
 from ..utils.validation import ValidationError
 
@@ -67,6 +68,10 @@ class PulseBackend:
             properties, qubits=qubits, include_cx=include_cx_calibrations
         )
         self._channel_cache: dict[tuple, np.ndarray] = {}
+        #: Per-(qubits) Clifford-element channel tables built lazily by the
+        #: RB execution engine (see ``repro.benchmarking.engine``).
+        self._clifford_channel_tables: dict = {}
+        self._cache_props_fp: str = properties.fingerprint()
 
     # ------------------------------------------------------------------ #
     # properties / bookkeeping
@@ -82,6 +87,23 @@ class PulseBackend:
     def clear_channel_cache(self) -> None:
         """Drop all cached gate channels (e.g. after changing calibrations)."""
         self._channel_cache.clear()
+        self._clifford_channel_tables.clear()
+        self.simulator.invalidate_cache()
+        self._cache_props_fp = self.properties.fingerprint()
+
+    def _check_cache_freshness(self) -> None:
+        """Invalidate every channel cache if :attr:`properties` drifted.
+
+        Swapping :attr:`properties` for a new calibration snapshot (e.g. a
+        day of the drift study) must not serve channels simulated against the
+        old snapshot; the properties fingerprint is compared on every cache
+        access and a mismatch drops the gate-channel cache, the simulator's
+        schedule-channel cache and the RB engine's Clifford tables.
+        """
+        if self.properties is self.simulator.properties and self._cache_props_fp == self.properties.fingerprint():
+            return
+        self.simulator.properties = self.properties
+        self.clear_channel_cache()
 
     # ------------------------------------------------------------------ #
     # gate channels
@@ -106,16 +128,19 @@ class PulseBackend:
             Custom calibration; defaults to the backend's instruction
             schedule map entry.
         cache_key:
-            Key used for caching custom schedules; defaults to ``id(schedule)``.
+            Key used for caching custom schedules; defaults to the schedule's
+            content fingerprint, so two structurally identical schedules
+            share a cache entry regardless of object identity.
         """
         qubits = tuple(int(q) for q in qubits)
+        self._check_cache_freshness()
         if schedule is None:
             sched = self.instruction_schedule_map.get(name, qubits)
             key = (name.lower(), qubits, "default")
             is_default = True
         else:
             sched = schedule
-            key = (name.lower(), qubits, cache_key if cache_key is not None else id(schedule))
+            key = (name.lower(), qubits, cache_key if cache_key is not None else schedule.fingerprint())
             is_default = False
         if key not in self._channel_cache:
             channel = self.simulator.schedule_channel(sched, qubits=list(qubits))
@@ -220,17 +245,29 @@ class PulseBackend:
         if not measured:
             raise ValidationError("circuit has no measurements; nothing to sample")
         channel, active = self.circuit_channel(circ, transpiled=True)
-        n = len(active)
-        dim = 2**n
-        rho0 = np.zeros((dim, dim), dtype=complex)
-        rho0[0, 0] = 1.0
-        rho = apply_superop(channel, rho0)
-        probs_all = np.clip(np.real(np.diag(rho)), 0.0, None)
-        total = probs_all.sum()
-        if total <= 0:
-            raise ValidationError("simulation produced a non-positive state")
-        probs_all = probs_all / total
-        return self._sample_measurement(probs_all, active, measured, shots, seed, circ.name)
+        return self.sample_channel(channel, active, measured, shots, seed=seed, name=circ.name)
+
+    def sample_channel(
+        self,
+        channel: np.ndarray,
+        active: Sequence[int],
+        measured: Sequence[tuple[int, int]],
+        shots: int,
+        seed=None,
+        name: str = "channel_job",
+    ) -> Result:
+        """Sample measurement outcomes of a pre-composed circuit channel.
+
+        ``channel`` is a superoperator on the computational space of
+        ``active`` (first listed qubit = most significant factor); ``measured``
+        lists ``(qubit, clbit)`` pairs.  This is the sampling tail of
+        :meth:`run`, exposed so executors that compose channels themselves
+        (e.g. the batched RB engine) sample through the identical pipeline.
+        """
+        if shots <= 0:
+            raise ValidationError(f"shots must be > 0, got {shots}")
+        probs_all = channel_output_probabilities(channel, len(active))
+        return self._sample_measurement(probs_all, list(active), list(measured), shots, seed, name)
 
     def run_schedule(
         self,
@@ -246,15 +283,8 @@ class PulseBackend:
             if q not in qubits:
                 qubits = sorted(set(qubits) | {int(q)})
         channel = self.simulator.schedule_channel(schedule, qubits=qubits)
-        n = len(qubits)
-        dim = 2**n
-        rho0 = np.zeros((dim, dim), dtype=complex)
-        rho0[0, 0] = 1.0
-        rho = apply_superop(channel, rho0)
-        probs_all = np.clip(np.real(np.diag(rho)), 0.0, None)
-        probs_all = probs_all / probs_all.sum()
         measured = [(int(q), i) for i, q in enumerate(measured_qubits)]
-        return self._sample_measurement(probs_all, qubits, measured, shots, seed, name)
+        return self.sample_channel(channel, qubits, measured, shots, seed=seed, name=name)
 
     # ------------------------------------------------------------------ #
     # measurement sampling
@@ -268,44 +298,6 @@ class PulseBackend:
         seed,
         name: str,
     ) -> Result:
-        index_of = {q: i for i, q in enumerate(active)}
-        meas_qubits = [q for q, _ in measured]
-        for q in meas_qubits:
-            if q not in index_of:
-                raise ValidationError(f"measured qubit {q} is not part of the simulated register {active}")
-        n = len(active)
-        # marginalize the full-register probabilities onto the measured qubits
-        probs_tensor = probs_all.reshape([2] * n) if n > 0 else probs_all
-        keep_axes = [index_of[q] for q in meas_qubits]
-        other_axes = tuple(i for i in range(n) if i not in keep_axes)
-        marg = probs_tensor.sum(axis=other_axes) if other_axes else probs_tensor
-        # reorder axes into measurement order
-        current = [a for a in range(n) if a in keep_axes]
-        perm = [current.index(a) for a in keep_axes]
-        marg = np.transpose(marg, perm).reshape(-1)
-        # readout error
-        confusion = readout_confusion_matrix([self.properties.qubit(q) for q in meas_qubits])
-        noisy = apply_readout_error(marg, confusion)
+        confusion = readout_confusion_matrix([self.properties.qubit(q) for q, _ in measured])
         rng = default_rng(seed) if seed is not None else self._rng
-        samples = rng.multinomial(shots, noisy)
-        n_meas = len(meas_qubits)
-        # order counts keys by classical bit index
-        clbit_order = np.argsort([c for _, c in measured], kind="stable")
-        counts: dict[str, int] = {}
-        ideal: dict[str, float] = {}
-        for outcome_index, count in enumerate(samples):
-            bits_meas_order = format(outcome_index, f"0{n_meas}b")
-            bits_clbit_order = "".join(bits_meas_order[i] for i in clbit_order)
-            if count > 0:
-                counts[bits_clbit_order] = counts.get(bits_clbit_order, 0) + int(count)
-            prob = float(noisy[outcome_index])
-            if prob > 0:
-                ideal[bits_clbit_order] = ideal.get(bits_clbit_order, 0.0) + prob
-        if not counts:  # degenerate case: all probability mass sampled to zero counts
-            counts = {"0" * n_meas: shots}
-        return Result(
-            counts=counts,
-            shots=shots,
-            probabilities_ideal=ideal,
-            metadata={"name": name, "measured_qubits": meas_qubits, "backend": self.name},
-        )
+        return sample_measurement(probs_all, active, measured, confusion, rng, shots, name, self.name)

@@ -85,7 +85,17 @@ class SimulationOptions:
 
 
 class PulseSimulator:
-    """Simulates pulse schedules against a backend's device model."""
+    """Simulates pulse schedules against a backend's device model.
+
+    Simulated gate channels are cached by a *content fingerprint* of
+    ``(schedule, qubits, device properties, simulation options)``: a
+    randomized-benchmarking workload replays a handful of distinct Clifford
+    generator schedules across thousands of sequences, so each distinct
+    schedule is integrated exactly once.  The cache invalidates itself when
+    :attr:`properties` is swapped for a drifted snapshot (the properties
+    fingerprint is part of the freshness check), and can be dropped
+    explicitly via :meth:`invalidate_cache`.
+    """
 
     def __init__(self, properties: BackendProperties, options: SimulationOptions | None = None):
         self.properties = properties
@@ -95,6 +105,33 @@ class PulseSimulator:
             {(a, b) for a, b in properties.coupling} | {(b, a) for a, b in properties.coupling}
         )
         self._u_to_pair = {idx: pair for idx, pair in enumerate(directed)}
+        self._channel_cache: dict[tuple, np.ndarray] = {}
+        self._cache_props_fp: str = properties.fingerprint()
+        self._cache_hits: int = 0
+        self._cache_misses: int = 0
+
+    # ------------------------------------------------------------------ #
+    # channel cache
+    # ------------------------------------------------------------------ #
+    def invalidate_cache(self) -> None:
+        """Drop every cached schedule channel."""
+        self._channel_cache.clear()
+        self._cache_props_fp = self.properties.fingerprint()
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the schedule-channel cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._channel_cache),
+        }
+
+    def _check_cache_freshness(self) -> None:
+        """Invalidate cached channels if the device properties drifted."""
+        fp = self.properties.fingerprint()
+        if fp != self._cache_props_fp:
+            self._channel_cache.clear()
+            self._cache_props_fp = fp
 
     # ------------------------------------------------------------------ #
     # public API
@@ -132,7 +169,8 @@ class PulseSimulator:
             A ``4^n × 4^n`` superoperator on the computational subspace of
             the addressed qubits (n = 1 or 2), in the column-stacking
             convention, ordered with the first listed qubit as the most
-            significant tensor factor.
+            significant tensor factor.  The array is shared with the
+            simulator's channel cache — treat it as read-only.
         """
         inferred = self.infer_qubits(schedule)
         if qubits is None:
@@ -146,13 +184,23 @@ class PulseSimulator:
                 )
         if len(qubits) == 0:
             raise ValidationError("schedule does not address any qubit")
+        if len(qubits) > 2:
+            raise ValidationError(
+                f"pulse-level simulation supports at most 2 qubits per schedule, got {len(qubits)}"
+            )
+        self._check_cache_freshness()
+        key = (schedule.fingerprint(), tuple(qubits), repr(self.options))
+        cached = self._channel_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
         if len(qubits) == 1:
-            return self._single_qubit_channel(schedule, qubits[0])
-        if len(qubits) == 2:
-            return self._two_qubit_channel(schedule, qubits)
-        raise ValidationError(
-            f"pulse-level simulation supports at most 2 qubits per schedule, got {len(qubits)}"
-        )
+            channel = self._single_qubit_channel(schedule, qubits[0])
+        else:
+            channel = self._two_qubit_channel(schedule, qubits)
+        self._channel_cache[key] = channel
+        return channel
 
     def schedule_unitary(self, schedule: Schedule, qubits: list[int] | None = None) -> np.ndarray:
         """Closed-system (no decoherence) version of :meth:`schedule_channel`.

@@ -13,23 +13,34 @@ calibrated gates.  This package implements the full stack from scratch:
   ``A·α^m + B`` with parameter uncertainties,
 * :mod:`~repro.benchmarking.irb` — the interleaved RB experiment and the
   Magesan et al. interleaved-gate-error estimator used by Qiskit (and by the
-  paper's Table I).
+  paper's Table I),
+* :mod:`~repro.benchmarking.engine` — the batched execution engine: cached
+  per-Clifford superoperator channels composed per sequence (instead of
+  re-executing every circuit gate-by-gate) with an optional process-pool
+  fan-out over sequences.
 """
 
 from .clifford import CliffordGroup, clifford_group, CliffordElement
+from .engine import CliffordChannelTable, clifford_channel_table
 from .fitting import fit_rb_decay, RBDecayFit
-from .rb import RBExperiment, RBResult, rb_circuits
-from .irb import InterleavedRBExperiment, InterleavedRBResult
+from .rb import RBExperiment, RBResult, StandardRB, execute_rb_sequences, rb_circuits, rb_sequences
+from .irb import InterleavedRB, InterleavedRBExperiment, InterleavedRBResult
 
 __all__ = [
     "CliffordGroup",
     "CliffordElement",
+    "CliffordChannelTable",
+    "clifford_channel_table",
     "clifford_group",
     "fit_rb_decay",
     "RBDecayFit",
     "RBExperiment",
     "RBResult",
+    "StandardRB",
+    "execute_rb_sequences",
     "rb_circuits",
+    "rb_sequences",
+    "InterleavedRB",
     "InterleavedRBExperiment",
     "InterleavedRBResult",
 ]

@@ -168,11 +168,56 @@ class CliffordGroup:
 
     def compose(self, first: CliffordElement, second: CliffordElement) -> CliffordElement:
         """Group element of ``second ∘ first`` (``first`` applied first)."""
+        if self.n_qubits == 1:
+            return self._elements[self.compose_index(first.index, second.index)]
         return self.lookup(second.matrix @ first.matrix)
 
     def inverse(self, element: CliffordElement) -> CliffordElement:
         """The group inverse of ``element``."""
+        if self.n_qubits == 1:
+            return self._elements[self.inverse_index(element.index)]
         return self.lookup(element.matrix.conj().T)
+
+    def compose_index(self, first: int, second: int) -> int:
+        """Index of ``second ∘ first`` by element index.
+
+        For the single-qubit group the full 24×24 multiplication table is
+        built once and composition becomes an integer lookup — the RB engine
+        composes tens of thousands of elements per experiment, so this path
+        avoids the matrix-product-plus-hash lookup entirely.  The two-qubit
+        group (11520 elements) falls back to the matrix lookup.
+        """
+        if self.n_qubits == 1:
+            table = self._compose_table()
+            return int(table[first, second])
+        return self.lookup(self._elements[second].matrix @ self._elements[first].matrix).index
+
+    def inverse_index(self, index: int) -> int:
+        """Index of the group inverse by element index."""
+        if self.n_qubits == 1:
+            table = self._inverse_table()
+            return int(table[index])
+        return self.lookup(self._elements[index].matrix.conj().T).index
+
+    def _compose_table(self) -> np.ndarray:
+        table = getattr(self, "_compose_table_cache", None)
+        if table is None:
+            n = len(self._elements)
+            table = np.empty((n, n), dtype=np.int32)
+            for i, a in enumerate(self._elements):
+                for j, b in enumerate(self._elements):
+                    table[i, j] = self.lookup(b.matrix @ a.matrix).index
+            self._compose_table_cache = table
+        return table
+
+    def _inverse_table(self) -> np.ndarray:
+        table = getattr(self, "_inverse_table_cache", None)
+        if table is None:
+            table = np.array(
+                [self.lookup(e.matrix.conj().T).index for e in self._elements], dtype=np.int32
+            )
+            self._inverse_table_cache = table
+        return table
 
     # ------------------------------------------------------------------ #
     # circuit output

@@ -26,12 +26,12 @@ from typing import Sequence
 import numpy as np
 
 from .fitting import RBDecayFit, fit_rb_decay
-from .rb import RBResult, RBSequence, execute_rb_sequences, rb_circuits
+from .rb import RBResult, RBSequence, _check_engine, execute_rb_sequences, rb_circuits, rb_sequences
 from ..circuits.gate import Gate
 from ..pulse.schedule import Schedule
 from ..utils.validation import ValidationError
 
-__all__ = ["InterleavedRBResult", "InterleavedRBExperiment"]
+__all__ = ["InterleavedRBResult", "InterleavedRBExperiment", "InterleavedRB"]
 
 
 @dataclass
@@ -128,6 +128,8 @@ class InterleavedRBExperiment:
         shots: int = 512,
         seed=None,
         custom_calibration: Schedule | None = None,
+        engine: str = "channels",
+        num_workers: int = 1,
     ):
         self.backend = backend
         base_gate = Gate.standard(gate) if isinstance(gate, str) else gate
@@ -142,6 +144,8 @@ class InterleavedRBExperiment:
         self.shots = int(shots)
         self.seed = seed
         self.custom_calibration = custom_calibration
+        self.engine = _check_engine(engine)
+        self.num_workers = int(num_workers)
         self.base_gate_name = base_gate.name
         if custom_calibration is not None:
             # Give the interleaved instances a distinct name so the custom
@@ -178,23 +182,41 @@ class InterleavedRBExperiment:
         counts practical for the benchmark harness, leaving it free makes the
         α_c ratio — and hence the interleaved-gate error — unstable.
         """
-        sequences = self.circuits()
+        if self.engine == "circuits":
+            sequences = self.circuits()
+        else:
+            sequences = rb_sequences(
+                self.physical_qubits,
+                lengths=self.lengths,
+                n_seeds=self.n_seeds,
+                seed=self.seed,
+                interleaved_gate=self.gate,
+                interleaved_qubits=self.physical_qubits,
+                build_circuits=False,
+            )
         fixed_asymptote = 0.25 if self.n_qubits == 2 else None
+        common = dict(
+            seed=self.seed,
+            fixed_asymptote=fixed_asymptote,
+            engine=self.engine,
+            num_workers=self.num_workers,
+            physical_qubits=self.physical_qubits,
+        )
         reference = execute_rb_sequences(
             self.backend,
             [s for s in sequences if not s.interleaved],
             self.n_qubits,
             self.shots,
-            seed=self.seed,
-            fixed_asymptote=fixed_asymptote,
+            **common,
         )
         interleaved = execute_rb_sequences(
             self.backend,
             [s for s in sequences if s.interleaved],
             self.n_qubits,
             self.shots,
-            seed=self.seed,
-            fixed_asymptote=fixed_asymptote,
+            interleaved_gate=self.gate,
+            interleaved_calibration=self.custom_calibration,
+            **common,
         )
         label = self.base_gate_name + ("_custom" if self.custom_calibration is not None else "_default")
         return InterleavedRBResult(
@@ -203,3 +225,7 @@ class InterleavedRBExperiment:
             gate_name=label,
             n_qubits=self.n_qubits,
         )
+
+
+#: Qiskit-experiments-style alias.
+InterleavedRB = InterleavedRBExperiment

@@ -26,21 +26,60 @@ from ..circuits.gate import Gate
 from ..utils.seeding import default_rng, spawn_rngs
 from ..utils.validation import ValidationError
 
-__all__ = ["RBSequence", "rb_circuits", "RBResult", "RBExperiment"]
+__all__ = [
+    "RBSequence",
+    "rb_circuits",
+    "rb_sequences",
+    "RBResult",
+    "RBExperiment",
+    "StandardRB",
+    "execute_rb_sequences",
+]
 
 DEFAULT_LENGTHS_1Q = (1, 4, 16, 48, 96, 160)
 DEFAULT_LENGTHS_2Q = (1, 2, 4, 8, 16, 24)
 
+_ENGINES = ("channels", "circuits")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise ValidationError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    return engine
+
 
 @dataclass
 class RBSequence:
-    """One RB circuit together with its generation metadata."""
+    """One RB sequence together with its generation metadata.
 
-    circuit: QuantumCircuit
+    ``circuit`` is ``None`` when the sequence was generated for the batched
+    channel engine (``rb_sequences(..., build_circuits=False)``), which only
+    needs the element indices; the circuit-based executor requires it.
+    """
+
+    circuit: QuantumCircuit | None
     length: int
     seed_index: int
     interleaved: bool = False
     clifford_indices: tuple[int, ...] = ()
+    #: Group-element index of the recovery Clifford inverting the sequence
+    #: (including the interleaved element, for interleaved sequences).
+    recovery_index: int | None = None
+    physical_qubits: tuple[int, ...] = ()
+
+
+def _recovery_index(
+    group: CliffordGroup,
+    element_indices: Sequence[int],
+    interleaved_index: int | None = None,
+) -> int:
+    """Element index of the recovery Clifford inverting the sequence."""
+    net = group.identity.index
+    for idx in element_indices:
+        net = group.compose_index(net, idx)
+        if interleaved_index is not None:
+            net = group.compose_index(net, interleaved_index)
+    return group.inverse_index(net)
 
 
 def _build_sequence_circuit(
@@ -50,26 +89,42 @@ def _build_sequence_circuit(
     n_circuit_qubits: int,
     interleaved_gate: Gate | None,
     interleaved_qubits: Sequence[int] | None,
-    interleaved_element: CliffordElement | None,
+    recovery: CliffordElement,
     name: str,
-) -> tuple[QuantumCircuit, CliffordElement]:
-    """Assemble the circuit and return it with the net Clifford (pre-recovery)."""
+) -> QuantumCircuit:
+    """Assemble the sequence circuit ending in the given recovery Clifford."""
     circuit = QuantumCircuit(n_circuit_qubits, len(physical_qubits), name=name)
-    net = group.identity
     for element in elements:
         group.append_to_circuit(circuit, element, physical_qubits)
         circuit.barrier(*physical_qubits)
-        net = group.compose(net, element)
         if interleaved_gate is not None:
             circuit.append(interleaved_gate, tuple(interleaved_qubits))
             circuit.barrier(*physical_qubits)
-            net = group.compose(net, interleaved_element)
-    recovery = group.inverse(net)
     group.append_to_circuit(circuit, recovery, physical_qubits)
     circuit.barrier(*physical_qubits)
     for clbit, qubit in enumerate(physical_qubits):
         circuit.measure(qubit, clbit)
-    return circuit, net
+    return circuit
+
+
+def _locate_interleaved_element(
+    group: CliffordGroup,
+    interleaved_gate: Gate,
+    physical_qubits: Sequence[int],
+    interleaved_qubits: Sequence[int],
+) -> CliffordElement:
+    """Find the interleaved gate inside the Clifford group (local indices)."""
+    local = [list(physical_qubits).index(q) for q in interleaved_qubits]
+    u = interleaved_gate.unitary()
+    if group.n_qubits == 2 and local == [1, 0]:
+        # gate listed target-first: permute to local order (q0, q1)
+        swap = np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]])
+        u = swap @ u @ swap
+    if not group.contains(u):
+        raise ValidationError(
+            f"interleaved gate {interleaved_gate.name!r} is not a Clifford"
+        )
+    return group.lookup(u)
 
 
 def rb_circuits(
@@ -81,6 +136,31 @@ def rb_circuits(
     interleaved_qubits: Sequence[int] | None = None,
 ) -> list[RBSequence]:
     """Generate standard (and optionally interleaved) RB circuits.
+
+    Equivalent to :func:`rb_sequences` with ``build_circuits=True``; kept as
+    the circuit-producing entry point.
+    """
+    return rb_sequences(
+        physical_qubits,
+        lengths=lengths,
+        n_seeds=n_seeds,
+        seed=seed,
+        interleaved_gate=interleaved_gate,
+        interleaved_qubits=interleaved_qubits,
+        build_circuits=True,
+    )
+
+
+def rb_sequences(
+    physical_qubits: Sequence[int],
+    lengths: Sequence[int] | None = None,
+    n_seeds: int = 3,
+    seed=None,
+    interleaved_gate: Gate | None = None,
+    interleaved_qubits: Sequence[int] | None = None,
+    build_circuits: bool = True,
+) -> list[RBSequence]:
+    """Generate standard (and optionally interleaved) RB sequences.
 
     Parameters
     ----------
@@ -102,6 +182,11 @@ def rb_circuits(
     interleaved_qubits:
         Physical qubits the interleaved gate acts on (defaults to
         ``physical_qubits``).
+    build_circuits:
+        When ``False``, only the Clifford element indices and recovery
+        indices are generated (no :class:`QuantumCircuit` objects) — the
+        representation consumed by the batched channel engine.  The random
+        element draws are identical either way.
 
     Returns
     -------
@@ -128,67 +213,71 @@ def rb_circuits(
             raise ValidationError(
                 "interleaved gate must act exactly on the benchmarked qubits"
             )
-        # locate the gate inside the Clifford group, expressed on local indices
-        local = [physical_qubits.index(q) for q in interleaved_qubits]
-        u = interleaved_gate.unitary()
-        if n_qubits == 2 and local == [1, 0]:
-            # gate listed target-first: permute to local order (q0, q1)
-            swap = np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]])
-            u = swap @ u @ swap
-        if not group.contains(u):
-            raise ValidationError(
-                f"interleaved gate {interleaved_gate.name!r} is not a Clifford"
-            )
-        interleaved_element = group.lookup(u)
+        interleaved_element = _locate_interleaved_element(
+            group, interleaved_gate, physical_qubits, interleaved_qubits
+        )
 
     n_circuit_qubits = max(physical_qubits) + 1
     rngs = spawn_rngs(seed, n_seeds)
     sequences: list[RBSequence] = []
     sampled: dict[tuple[int, int], list[CliffordElement]] = {}
+    qubits_tuple = tuple(physical_qubits)
     for seed_index, rng in enumerate(rngs):
         for m in lengths:
             elements = [group.sample(rng) for _ in range(m)]
             sampled[(seed_index, m)] = elements
-            circuit, _ = _build_sequence_circuit(
-                group,
-                elements,
-                physical_qubits,
-                n_circuit_qubits,
-                None,
-                None,
-                None,
-                name=f"rb_m{m}_s{seed_index}",
-            )
+            indices = tuple(e.index for e in elements)
+            recovery_idx = _recovery_index(group, indices)
+            circuit = None
+            if build_circuits:
+                circuit = _build_sequence_circuit(
+                    group,
+                    elements,
+                    physical_qubits,
+                    n_circuit_qubits,
+                    None,
+                    None,
+                    group.element(recovery_idx),
+                    name=f"rb_m{m}_s{seed_index}",
+                )
             sequences.append(
                 RBSequence(
                     circuit=circuit,
                     length=m,
                     seed_index=seed_index,
                     interleaved=False,
-                    clifford_indices=tuple(e.index for e in elements),
+                    clifford_indices=indices,
+                    recovery_index=recovery_idx,
+                    physical_qubits=qubits_tuple,
                 )
             )
     if interleaved_gate is not None:
         for seed_index in range(n_seeds):
             for m in lengths:
                 elements = sampled[(seed_index, m)]
-                circuit, _ = _build_sequence_circuit(
-                    group,
-                    elements,
-                    physical_qubits,
-                    n_circuit_qubits,
-                    interleaved_gate,
-                    interleaved_qubits,
-                    interleaved_element,
-                    name=f"irb_m{m}_s{seed_index}",
-                )
+                indices = tuple(e.index for e in elements)
+                recovery_idx = _recovery_index(group, indices, interleaved_element.index)
+                circuit = None
+                if build_circuits:
+                    circuit = _build_sequence_circuit(
+                        group,
+                        elements,
+                        physical_qubits,
+                        n_circuit_qubits,
+                        interleaved_gate,
+                        interleaved_qubits,
+                        group.element(recovery_idx),
+                        name=f"irb_m{m}_s{seed_index}",
+                    )
                 sequences.append(
                     RBSequence(
                         circuit=circuit,
                         length=m,
                         seed_index=seed_index,
                         interleaved=True,
-                        clifford_indices=tuple(e.index for e in elements),
+                        clifford_indices=indices,
+                        recovery_index=recovery_idx,
+                        physical_qubits=qubits_tuple,
                     )
                 )
     return sequences
@@ -229,7 +318,20 @@ class RBResult:
 
 
 class RBExperiment:
-    """Standard randomized benchmarking against a pulse backend."""
+    """Standard randomized benchmarking against a pulse backend.
+
+    Parameters
+    ----------
+    engine:
+        ``"channels"`` (default) composes cached per-Clifford superoperator
+        channels — the batched execution engine; ``"circuits"`` transpiles
+        and executes every sequence circuit individually (the reference
+        path).  Both produce identical survival statistics up to float
+        tolerance.
+    num_workers:
+        Fan sequences out over a process pool (``1`` = serial, ``0`` = all
+        available CPUs, see :func:`repro.utils.parallel.parallel_map`).
+    """
 
     def __init__(
         self,
@@ -239,6 +341,8 @@ class RBExperiment:
         n_seeds: int = 3,
         shots: int = 512,
         seed=None,
+        engine: str = "channels",
+        num_workers: int = 1,
     ):
         self.backend = backend
         self.physical_qubits = [int(q) for q in physical_qubits]
@@ -251,6 +355,8 @@ class RBExperiment:
         self.n_seeds = int(n_seeds)
         self.shots = int(shots)
         self.seed = seed
+        self.engine = _check_engine(engine)
+        self.num_workers = int(num_workers)
 
     def circuits(self) -> list[RBSequence]:
         return rb_circuits(
@@ -262,9 +368,17 @@ class RBExperiment:
 
         ``calibrations`` (gate name, physical qubits) → pulse Schedule are
         attached to every circuit, so RB can also be run entirely with custom
-        pulses if desired.
+        pulses if desired (this forces the circuit engine, which honors
+        per-circuit calibrations on gates inside the Clifford words).
         """
-        sequences = self.circuits()
+        engine = "circuits" if calibrations else self.engine
+        sequences = rb_sequences(
+            self.physical_qubits,
+            self.lengths,
+            self.n_seeds,
+            seed=self.seed,
+            build_circuits=engine == "circuits",
+        )
         return execute_rb_sequences(
             self.backend,
             [s for s in sequences if not s.interleaved],
@@ -272,33 +386,28 @@ class RBExperiment:
             self.shots,
             calibrations=calibrations,
             seed=self.seed,
+            engine=engine,
+            num_workers=self.num_workers,
+            physical_qubits=self.physical_qubits,
         )
 
 
-def execute_rb_sequences(
-    backend,
+#: Qiskit-experiments-style alias.
+StandardRB = RBExperiment
+
+
+def _fit_survivals(
     sequences: list[RBSequence],
+    survivals: Sequence[float],
     n_qubits: int,
-    shots: int,
-    calibrations: dict[tuple[str, tuple[int, ...]], object] | None = None,
-    seed=None,
-    fixed_asymptote: float | None = None,
+    fixed_asymptote: float | None,
 ) -> RBResult:
-    """Run RB sequences on a backend and fit the survival decay."""
-    if not sequences:
-        raise ValidationError("no RB sequences to execute")
-    rng = default_rng(seed)
+    """Aggregate per-sequence survivals and fit the RB decay."""
     per_length: dict[int, list[float]] = {}
     per_sequence: list[tuple[int, int, float]] = []
-    for seq in sequences:
-        circuit = seq.circuit
-        if calibrations:
-            for (name, qubits), sched in calibrations.items():
-                circuit.add_calibration(name, qubits, sched)
-        result = backend.run(circuit, shots=shots, seed=int(rng.integers(2**31 - 1)))
-        survival = result.ground_state_population()
-        per_length.setdefault(seq.length, []).append(survival)
-        per_sequence.append((seq.length, seq.seed_index, survival))
+    for seq, survival in zip(sequences, survivals):
+        per_length.setdefault(seq.length, []).append(float(survival))
+        per_sequence.append((seq.length, seq.seed_index, float(survival)))
     lengths = np.array(sorted(per_length), dtype=float)
     means = np.array([np.mean(per_length[int(m)]) for m in lengths])
     stds = np.array([np.std(per_length[int(m)]) for m in lengths])
@@ -316,3 +425,67 @@ def execute_rb_sequences(
         n_qubits=n_qubits,
         per_sequence=per_sequence,
     )
+
+
+def execute_rb_sequences(
+    backend,
+    sequences: list[RBSequence],
+    n_qubits: int,
+    shots: int,
+    calibrations: dict[tuple[str, tuple[int, ...]], object] | None = None,
+    seed=None,
+    fixed_asymptote: float | None = None,
+    engine: str = "channels",
+    num_workers: int = 1,
+    physical_qubits: Sequence[int] | None = None,
+    interleaved_gate: Gate | None = None,
+    interleaved_calibration=None,
+) -> RBResult:
+    """Run RB sequences on a backend and fit the survival decay.
+
+    ``engine="channels"`` composes cached per-Clifford channels via the
+    batched engine (requires sequence metadata from :func:`rb_sequences`
+    and, for interleaved sequences, the ``interleaved_gate``); it falls back
+    to the circuit path automatically when per-circuit ``calibrations`` are
+    given or the metadata is unavailable.  Both engines draw identical
+    per-sequence sampling seeds from ``seed``, in sequence order.
+    """
+    if not sequences:
+        raise ValidationError("no RB sequences to execute")
+    use_channels = (
+        engine == "channels"
+        and not calibrations
+        and all(s.recovery_index is not None for s in sequences)
+        and (physical_qubits is not None or all(s.physical_qubits for s in sequences))
+        and (interleaved_gate is not None or not any(s.interleaved for s in sequences))
+    )
+    if use_channels:
+        from .engine import execute_sequences_with_channels
+
+        qubits = list(physical_qubits if physical_qubits is not None else sequences[0].physical_qubits)
+        survivals = execute_sequences_with_channels(
+            backend,
+            sequences,
+            qubits,
+            shots,
+            clifford_group(n_qubits),
+            interleaved_gate=interleaved_gate,
+            interleaved_calibration=interleaved_calibration,
+            seed=seed,
+            num_workers=num_workers,
+        )
+        return _fit_survivals(sequences, survivals, n_qubits, fixed_asymptote)
+    rng = default_rng(seed)
+    survivals = []
+    for seq in sequences:
+        circuit = seq.circuit
+        if circuit is None:
+            raise ValidationError(
+                "sequence has no circuit; regenerate with rb_circuits() to use the circuit engine"
+            )
+        if calibrations:
+            for (name, qubits), sched in calibrations.items():
+                circuit.add_calibration(name, qubits, sched)
+        result = backend.run(circuit, shots=shots, seed=int(rng.integers(2**31 - 1)))
+        survivals.append(result.ground_state_population())
+    return _fit_survivals(sequences, survivals, n_qubits, fixed_asymptote)

@@ -17,6 +17,7 @@ Unit conventions (used consistently across the whole library):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
@@ -176,6 +177,23 @@ class BackendProperties:
         check_positive(self.dt, "dt")
 
     # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content hash of the full calibration snapshot.
+
+        Frozen-dataclass ``repr`` covers every field (including nested qubit
+        and gate properties), so any drifted copy — e.g. from
+        :meth:`with_qubit` or the calibration-drift model — fingerprints
+        differently.  The digest is memoized on the instance (the dataclass
+        is frozen, hence immutable) and is what the backend layer uses to
+        invalidate cached gate channels when device properties change.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = hashlib.sha256(repr(self).encode()).hexdigest()
+            # bypass the frozen-dataclass __setattr__ for the memo slot
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def qubit(self, index: int) -> QubitProperties:
         """Calibration data of a single qubit."""
         if not 0 <= index < self.n_qubits:

@@ -114,6 +114,7 @@ def _single_qubit_irb_figure(
     histogram_shots: int,
     seed: int,
     optimizer_levels: int = 3,
+    num_workers: int = 1,
 ) -> dict:
     backend = PulseBackend(device_props, calibrated_qubits=[0, 1], seed=seed)
     config = GateExperimentConfig(
@@ -138,6 +139,7 @@ def _single_qubit_irb_figure(
             shots=shots,
             seed=seed,
             custom_calibration=calibration,
+            num_workers=num_workers,
         )
         irb = experiment.run()
         out[f"{label}_lengths"] = irb.interleaved.lengths
@@ -154,17 +156,17 @@ def _single_qubit_irb_figure(
     return out
 
 
-def fig3_x_irb(seed: int = 2022, fast: bool = True) -> dict:
+def fig3_x_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
     """Fig. 3: IRB for the custom (105 ns) vs default X gate + histogram."""
     lengths = (1, 16, 48, 96, 160) if fast else (1, 16, 48, 96, 160, 240)
     return _single_qubit_irb_figure(
         "x", fake_montreal(), 105.0, 12, True, lengths,
         n_seeds=4 if fast else 8, shots=400 if fast else 1200,
-        histogram_shots=4000, seed=seed,
+        histogram_shots=4000, seed=seed, num_workers=num_workers,
     )
 
 
-def fig4_sx_irb(seed: int = 2022, fast: bool = True) -> dict:
+def fig4_sx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
     """Fig. 4: IRB for the custom (162 ns) vs default √X gate + histogram.
 
     As in the paper, the √X optimization neglects decoherence.
@@ -173,11 +175,11 @@ def fig4_sx_irb(seed: int = 2022, fast: bool = True) -> dict:
     return _single_qubit_irb_figure(
         "sx", fake_montreal(), 162.0, 14, False, lengths,
         n_seeds=4 if fast else 8, shots=400 if fast else 1200,
-        histogram_shots=4000, seed=seed,
+        histogram_shots=4000, seed=seed, num_workers=num_workers,
     )
 
 
-def fig5_h_irb(seed: int = 2022, fast: bool = True) -> dict:
+def fig5_h_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
     """Fig. 5: IRB for the custom (267 ns) vs default H gate + histogram.
 
     As in the paper, this long-duration H pulse is optimized on the bare
@@ -190,6 +192,7 @@ def fig5_h_irb(seed: int = 2022, fast: bool = True) -> dict:
         "h", fake_toronto(), 267.0, 16, False, lengths,
         n_seeds=4 if fast else 8, shots=400 if fast else 1200,
         histogram_shots=4000, seed=seed, optimizer_levels=2,
+        num_workers=num_workers,
     )
 
 
@@ -265,7 +268,7 @@ def fig7_cx_schedule(seed: int = 2022) -> dict:
 # --------------------------------------------------------------------------- #
 # Fig. 8 — CX IRB, custom vs default
 # --------------------------------------------------------------------------- #
-def fig8_cx_irb(seed: int = 2022, fast: bool = True) -> dict:
+def fig8_cx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
     """Fig. 8: IRB decay for the custom (1193 ns) vs default CX on montreal."""
     props = fake_montreal()
     backend = PulseBackend(props, calibrated_qubits=[0, 1], seed=seed)
@@ -294,6 +297,7 @@ def fig8_cx_irb(seed: int = 2022, fast: bool = True) -> dict:
             shots=300 if fast else 800,
             seed=seed,
             custom_calibration=calibration,
+            num_workers=num_workers,
         )
         irb = experiment.run()
         out[f"{label}_lengths"] = irb.interleaved.lengths

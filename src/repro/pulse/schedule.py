@@ -15,6 +15,7 @@ needs:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -150,6 +151,28 @@ class Schedule:
             f"Schedule(name={self.name!r}, duration={self.duration}, "
             f"n_instructions={len(self._timeslots)}, channels={[c.name for c in self.channels]})"
         )
+
+    def fingerprint(self) -> str:
+        """Content hash of the schedule's physical effect.
+
+        Two schedules with the same timed instructions (same channels, start
+        times, pulse samples and phase values) share a fingerprint regardless
+        of object identity or name — this is the cache key the pulse
+        simulator uses to recognize the handful of distinct gate schedules a
+        randomized-benchmarking workload replays thousands of times.
+        """
+        digest = hashlib.sha256()
+        for t, inst in self._timeslots:
+            digest.update(f"{t}:{type(inst).__name__}:{inst.channel.name}:".encode())
+            if isinstance(inst, Play):
+                samples = np.ascontiguousarray(inst.pulse.samples, dtype=complex)
+                digest.update(samples.tobytes())
+            elif isinstance(inst, (ShiftPhase, SetPhase)):
+                digest.update(repr(inst.phase).encode())
+            else:  # Delay / Acquire: the duration (and channel) is the content
+                digest.update(str(inst.duration).encode())
+            digest.update(b"|")
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # sample assembly (consumed by the pulse simulator)

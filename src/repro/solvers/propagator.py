@@ -16,13 +16,16 @@ from typing import Sequence
 
 import numpy as np
 
-from .expm_utils import expm_unitary_step, expm_general
+from .expm_utils import expm_batch, expm_general, expm_unitary_step, expm_unitary_step_batch
 from ..qobj.qobj import qobj_to_array
 from ..qobj.superop import liouvillian
 from ..utils.validation import ValidationError
 
 __all__ = [
     "assemble_pwc_hamiltonians",
+    "assemble_pwc_liouvillians",
+    "combine_pwc_liouvillians",
+    "chain_propagator_product",
     "pwc_step_propagators",
     "pwc_total_propagator",
     "pwc_cumulative_propagators",
@@ -30,6 +33,36 @@ __all__ = [
     "pwc_liouvillian_total",
     "propagator",
 ]
+
+
+def chain_propagator_product(steps: np.ndarray, initial: np.ndarray | None = None) -> np.ndarray:
+    """Time-ordered product ``U = U_{N-1} ... U_1 U_0 U_init`` of stacked steps.
+
+    Uses a logarithmic-depth pairwise reduction: adjacent pairs across the
+    whole stack are multiplied in one batched ``matmul`` per level, so the
+    Python-level work is ``O(log N)`` instead of ``O(N)``.  The association
+    of the product differs from a sequential left-fold, so results agree with
+    the loop implementation to floating-point tolerance (not bit-for-bit).
+    """
+    mats = np.asarray(steps)
+    if mats.ndim != 3:
+        raise ValidationError(f"steps must be a 3-D stack (N, d, d), got shape {mats.shape}")
+    n, d, _ = mats.shape
+    if n == 0:
+        out = np.eye(d, dtype=complex)
+    else:
+        while mats.shape[0] > 1:
+            m = mats.shape[0]
+            half = m // 2
+            # pair (U_0, U_1) -> U_1 U_0, (U_2, U_3) -> U_3 U_2, ...
+            reduced = np.matmul(mats[1 : 2 * half : 2], mats[0 : 2 * half : 2])
+            if m % 2:
+                reduced = np.concatenate([reduced, mats[-1:]])
+            mats = reduced
+        out = mats[0]
+    if initial is not None:
+        out = out @ qobj_to_array(initial)
+    return out
 
 
 def assemble_pwc_hamiltonians(
@@ -81,7 +114,7 @@ def pwc_step_propagators(
     if dt <= 0:
         raise ValidationError(f"dt must be > 0, got {dt}")
     h_slots = assemble_pwc_hamiltonians(drift, controls, amplitudes)
-    return np.stack([expm_unitary_step(h, dt) for h in h_slots])
+    return expm_unitary_step_batch(h_slots, dt)
 
 
 def pwc_total_propagator(
@@ -93,11 +126,7 @@ def pwc_total_propagator(
 ) -> np.ndarray:
     """Total propagator ``U = U_{N-1} ... U_1 U_0`` of a PWC pulse."""
     steps = pwc_step_propagators(drift, controls, amplitudes, dt)
-    d = steps.shape[-1]
-    u = np.eye(d, dtype=complex) if initial is None else qobj_to_array(initial).copy()
-    for uk in steps:
-        u = uk @ u
-    return u
+    return chain_propagator_product(steps, initial=initial)
 
 
 def pwc_cumulative_propagators(step_propagators: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -141,18 +170,57 @@ def pwc_liouvillian_step_propagators(
     """
     if dt <= 0:
         raise ValidationError(f"dt must be > 0, got {dt}")
-    h_slots = assemble_pwc_hamiltonians(drift, controls, amplitudes)
+    generators = assemble_pwc_liouvillians(drift, controls, amplitudes, c_ops)
+    return expm_batch(generators * dt)
+
+
+def assemble_pwc_liouvillians(
+    drift: np.ndarray,
+    controls: Sequence[np.ndarray],
+    amplitudes: np.ndarray,
+    c_ops: Sequence[np.ndarray] = (),
+) -> np.ndarray:
+    """Per-slot Liouvillians ``L_k = L[H0] + Σ_j u[j, k] L[H_j] + D``.
+
+    The Liouvillian is linear in the Hamiltonian, so the drift part (with the
+    slot-independent dissipator ``D``) and each control's superoperator
+    generator are built once and combined with a single ``einsum`` over the
+    amplitude table — no per-slot ``kron`` construction.
+
+    Returns an array of shape ``(n_slots, d^2, d^2)``.
+    """
+    h0 = qobj_to_array(drift)
+    ctrl_arrs = [qobj_to_array(c) for c in controls]
+    amps = np.asarray(amplitudes, dtype=float)
+    if amps.ndim != 2:
+        raise ValidationError(f"amplitudes must be 2-D (n_controls, n_slots), got shape {amps.shape}")
+    if amps.shape[0] != len(ctrl_arrs):
+        raise ValidationError(
+            f"amplitudes first dimension ({amps.shape[0]}) must equal number of controls ({len(ctrl_arrs)})"
+        )
     c_arrs = [qobj_to_array(c) for c in c_ops]
-    # Dissipative part is slot-independent: precompute it once.
-    d = h_slots.shape[-1]
-    diss = np.zeros((d * d, d * d), dtype=complex)
-    if c_arrs:
-        diss = liouvillian(np.zeros((d, d), dtype=complex), c_arrs)
-    out = np.empty((h_slots.shape[0], d * d, d * d), dtype=complex)
-    for k, h in enumerate(h_slots):
-        lv = liouvillian(h, None) + diss
-        out[k] = expm_general(lv * dt)
-    return out
+    l_const = liouvillian(h0, c_arrs if c_arrs else None)
+    l_ctrls = np.stack([liouvillian(hj, None) for hj in ctrl_arrs]) if ctrl_arrs else None
+    return combine_pwc_liouvillians(l_const, l_ctrls, amps)
+
+
+def combine_pwc_liouvillians(
+    l_const: np.ndarray,
+    l_ctrls: np.ndarray | None,
+    amplitudes: np.ndarray,
+) -> np.ndarray:
+    """Combine precomputed Liouvillian pieces: ``L_k = L_const + Σ_j u_jk L_j``.
+
+    Shared by :func:`assemble_pwc_liouvillians` and the optimizer's memoized
+    open-system assembly (``repro.core.dynamics``), which caches ``l_const``
+    and ``l_ctrls`` across cost evaluations.
+    """
+    amps = np.asarray(amplitudes, dtype=float)
+    d2 = l_const.shape[0]
+    generators = np.broadcast_to(l_const, (amps.shape[1], d2, d2)).copy()
+    if l_ctrls is not None and len(l_ctrls):
+        generators += np.einsum("jk,jab->kab", amps, l_ctrls)
+    return generators
 
 
 def pwc_liouvillian_total(
@@ -164,11 +232,7 @@ def pwc_liouvillian_total(
 ) -> np.ndarray:
     """Total superoperator of a PWC pulse with dissipation."""
     steps = pwc_liouvillian_step_propagators(drift, controls, amplitudes, dt, c_ops)
-    d2 = steps.shape[-1]
-    s = np.eye(d2, dtype=complex)
-    for sk in steps:
-        s = sk @ s
-    return s
+    return chain_propagator_product(steps)
 
 
 def propagator(

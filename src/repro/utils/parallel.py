@@ -17,7 +17,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "available_workers"]
+__all__ = ["parallel_map", "available_workers", "auto_chunksize"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -31,11 +31,24 @@ def available_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+def auto_chunksize(n_items: int, num_workers: int) -> int:
+    """Heuristic pool chunk size: ~4 chunks per worker, at least 1.
+
+    Small chunks keep the pool load-balanced when task durations vary (long
+    RB sequences take longer than short ones); one-item chunks pay pickling
+    overhead per item.  Four chunks per worker is the standard compromise
+    (it is also what ``multiprocessing.Pool.map`` defaults to).
+    """
+    if num_workers <= 1:
+        return 1
+    return max(1, n_items // (4 * num_workers))
+
+
 def parallel_map(
     func: Callable[[T], R],
     items: Iterable[T],
     num_workers: int = 1,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Map ``func`` over ``items``, optionally using a process pool.
 
@@ -49,9 +62,11 @@ def parallel_map(
     num_workers:
         ``1`` (default) runs serially in-process; ``>1`` uses a
         ``ProcessPoolExecutor`` with that many workers; ``0`` or negative
-        values select :func:`available_workers`.
+        values select :func:`available_workers` — the convention the RB
+        executor exposes as ``num_workers=0`` ("use every CPU").
     chunksize:
         Chunk size forwarded to the executor map (ignored serially).
+        ``None`` (default) picks :func:`auto_chunksize`.
 
     Returns
     -------
@@ -65,5 +80,7 @@ def parallel_map(
         num_workers = available_workers()
     if num_workers == 1 or len(items) <= 1:
         return [func(item) for item in items]
+    if chunksize is None:
+        chunksize = auto_chunksize(len(items), num_workers)
     with ProcessPoolExecutor(max_workers=num_workers) as pool:
         return list(pool.map(func, items, chunksize=max(1, chunksize)))
