@@ -13,6 +13,12 @@ Both engines draw identical per-sequence sampling seeds, so the survival
 statistics — and hence the fitted error-per-Clifford — must agree to well
 below 1e-6.  The measured wall-clock ratio is the engine speedup recorded in
 ``BENCH_rb.json`` and compared by CI against the committed baseline.
+
+``test_rb_store_cold_vs_warm`` additionally times the persistent Clifford
+store: a cold session transpiles and composes every used two-qubit element
+channel and persists it; a warm session memory-maps the stored table (and
+loads the group enumeration) instead.  Warm setup must be at least 5× faster
+than cold, and the reopened channels must be bit-identical.
 """
 
 import os
@@ -21,7 +27,9 @@ import time
 import numpy as np
 
 from repro.backend import PulseBackend
-from repro.benchmarking import InterleavedRBExperiment
+from repro.benchmarking import CliffordChannelStore, InterleavedRBExperiment, clifford_channel_table
+from repro.benchmarking import store as store_module
+from repro.benchmarking.clifford import CliffordGroup, clifford_group
 from repro.circuits.gate import Gate
 from repro.devices import fake_montreal
 
@@ -88,3 +96,88 @@ def test_rb_engine_speedup(benchmark, save_results, bench_metrics):
         "epc_abs_diff": data["epc_abs_diff"],
     }
     save_results("rb_engine", data)
+
+
+# --------------------------------------------------------------------------- #
+# persistent store: cold build vs warm mmap
+# --------------------------------------------------------------------------- #
+def _store_cold_vs_warm(root) -> dict:
+    """Time channel-table setup cold (build + persist) vs warm (mmap)."""
+    n_qubits = 1 if SMOKE else 2
+    qubits = [0] if SMOKE else [0, 1]
+    group = clifford_group(n_qubits)
+    # a realistic mid-size 2q workload touches a few hundred distinct elements
+    n_elements = len(group) if SMOKE else 240
+    indices = list(range(n_elements))
+
+    store = CliffordChannelStore(root)
+    cold_backend = PulseBackend(fake_montreal(), calibrated_qubits=[0, 1], seed=2022)
+    start = time.perf_counter()
+    cold_table = clifford_channel_table(cold_backend, qubits, group, store=store)
+    cold_table.ensure(indices)
+    cold_setup = time.perf_counter() - start
+
+    # a warm session: fresh store object, fresh backend instance, and the
+    # process-local mmap cache dropped so the timing includes the real
+    # manifest read + np.load + memory-map open a new process would pay
+    store_module._OPEN_TABLES.clear()
+    warm_backend = PulseBackend(
+        fake_montreal(), calibrated_qubits=[0, 1], seed=2022,
+        channel_store=CliffordChannelStore(root),
+    )
+    start = time.perf_counter()
+    warm_table = clifford_channel_table(warm_backend, qubits, group)
+    for index in indices:
+        warm_table.channel_by_index(index)
+    warm_setup = time.perf_counter() - start
+
+    # correctness: the reopened (mmap) channels must be bit-identical to an
+    # independent in-memory build — not to the cold table, which reads the
+    # same on-disk generation and would compare a file against itself
+    reference_backend = PulseBackend(fake_montreal(), calibrated_qubits=[0, 1], seed=2022)
+    reference_table = clifford_channel_table(reference_backend, qubits, group, store=False)
+    check_indices = indices if SMOKE else indices[::10]
+    max_abs_diff = max(
+        float(np.max(np.abs(
+            np.asarray(warm_table.channel_by_index(i)) - reference_table.channel_by_index(i)
+        )))
+        for i in check_indices
+    )
+    data = {
+        "n_qubits": n_qubits,
+        "n_elements": n_elements,
+        "cold_setup_wall_clock_s": cold_setup,
+        "warm_setup_wall_clock_s": warm_setup,
+        "store_warm_speedup": cold_setup / warm_setup,
+        "channel_max_abs_diff": max_abs_diff,
+    }
+    if not SMOKE:
+        # group enumeration: persisted load vs a fresh breadth-first build
+        store.ensure_group_saved(group)
+        start = time.perf_counter()
+        arrays = store.load_group_arrays(n_qubits)
+        CliffordGroup.from_arrays(n_qubits, arrays)
+        data["group_load_wall_clock_s"] = time.perf_counter() - start
+        start = time.perf_counter()
+        CliffordGroup(n_qubits)
+        data["group_bfs_wall_clock_s"] = time.perf_counter() - start
+    return data
+
+
+def test_rb_store_cold_vs_warm(benchmark, save_results, bench_metrics, tmp_path):
+    data = benchmark.pedantic(_store_cold_vs_warm, args=(tmp_path / "store",), rounds=1, iterations=1)
+    # correctness: reopened channels are bit-identical to the cold build
+    assert data["channel_max_abs_diff"] == 0.0
+    if not SMOKE:
+        # acceptance: warm-store setup (no per-element transpile) is
+        # measurably faster than the cold build, machine-independently
+        assert data["store_warm_speedup"] >= 5.0, (
+            f"warm store setup only {data['store_warm_speedup']:.1f}x faster than cold"
+        )
+        assert data["group_load_wall_clock_s"] < data["group_bfs_wall_clock_s"]
+    bench_metrics["rb_store"] = {
+        "store_warm_speedup": data["store_warm_speedup"],
+        "cold_setup_wall_clock_s": data["cold_setup_wall_clock_s"],
+        "warm_setup_wall_clock_s": data["warm_setup_wall_clock_s"],
+    }
+    save_results("rb_store", data)

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Dependency-free sanity checker for the documentation site.
+
+CI builds the site with ``mkdocs build --strict``, but mkdocs is not part of
+the library's (deliberately minimal) dependency set, so this checker gives
+the same guarantees locally and inside the tier-1 test suite using only the
+standard library:
+
+* every page listed in the ``mkdocs.yml`` nav exists under ``docs/``,
+* every relative Markdown link in every page resolves to an existing file
+  (anchors are checked for the ``file.md#anchor`` form against generated
+  heading slugs),
+* no page is orphaned (present in ``docs/`` but absent from the nav),
+* fenced code blocks are balanced.
+
+Exit code 1 on any failure; used by ``tests/test_docs.py`` and by the CI
+docs job ahead of the real mkdocs build.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def nav_pages(mkdocs_yml: Path = MKDOCS_YML) -> list[str]:
+    """Page paths referenced by the mkdocs nav (naive YAML subset parse).
+
+    Only the flat ``nav:`` list of ``- Title: page.md`` entries used by this
+    project is supported — enough to avoid a YAML dependency.
+    """
+    pages: list[str] = []
+    in_nav = False
+    for line in mkdocs_yml.read_text().splitlines():
+        if not line.strip() or line.strip().startswith("#"):
+            continue
+        if not line.startswith(" "):
+            in_nav = line.strip() == "nav:"
+            continue
+        if in_nav:
+            match = re.match(r"\s*-\s+(?:\"[^\"]*\"|'[^']*'|[^:]+):\s*(\S+\.md)\s*$", line)
+            if match:
+                pages.append(match.group(1))
+    return pages
+
+
+def heading_anchors(text: str) -> set[str]:
+    """Anchor slugs generated for the headings of a Markdown page."""
+    anchors = set()
+    for heading in _HEADING_RE.findall(text):
+        slug = re.sub(r"[^\w\s-]", "", heading.lower()).strip()
+        anchors.add(re.sub(r"[\s]+", "-", slug))
+    return anchors
+
+
+def check_docs() -> list[str]:
+    """Run every check; return a list of human-readable failures."""
+    failures: list[str] = []
+    if not MKDOCS_YML.exists():
+        return ["mkdocs.yml not found"]
+    pages = nav_pages()
+    if not pages:
+        failures.append("mkdocs.yml nav lists no pages")
+    for page in pages:
+        if not (DOCS_DIR / page).exists():
+            failures.append(f"nav page missing on disk: docs/{page}")
+    on_disk = {p.name for p in DOCS_DIR.glob("*.md")}
+    orphans = on_disk - set(pages)
+    for orphan in sorted(orphans):
+        failures.append(f"page not listed in mkdocs.yml nav: docs/{orphan}")
+
+    anchors_by_page = {
+        page: heading_anchors((DOCS_DIR / page).read_text())
+        for page in pages
+        if (DOCS_DIR / page).exists()
+    }
+    for page in pages:
+        path = DOCS_DIR / page
+        if not path.exists():
+            continue
+        text = path.read_text()
+        if text.count("```") % 2:
+            failures.append(f"{page}: unbalanced fenced code block")
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if not file_part:  # same-page anchor
+                if anchor and anchor not in anchors_by_page.get(page, set()):
+                    failures.append(f"{page}: broken same-page anchor #{anchor}")
+                continue
+            target_path = (path.parent / file_part).resolve()
+            if not target_path.exists():
+                failures.append(f"{page}: broken link to {target}")
+                continue
+            if anchor and target_path.suffix == ".md":
+                rel = target_path.name
+                if anchor not in anchors_by_page.get(rel, heading_anchors(target_path.read_text())):
+                    failures.append(f"{page}: broken anchor {target}")
+    return failures
+
+
+def main() -> int:
+    """CLI entry point: print failures, return a shell exit code."""
+    failures = check_docs()
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"docs check passed ({len(nav_pages())} pages)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ paper's optimized pulses replace the backend gates.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -31,13 +31,12 @@ from .result import Result
 from .sampling import channel_output_probabilities, sample_measurement
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Barrier, Gate, Measurement
-from ..circuits.scheduler import schedule_circuit
 from ..circuits.transpiler import transpile
 from ..devices.properties import BackendProperties
 from ..pulse.calibrations import default_instruction_schedule_map
 from ..pulse.instruction_schedule_map import InstructionScheduleMap
 from ..pulse.schedule import Schedule
-from ..qobj.gates import rz_gate, standard_gate_unitary
+from ..qobj.gates import standard_gate_unitary
 from ..qobj.superop import unitary_superop
 from ..utils.seeding import default_rng
 from ..utils.validation import ValidationError
@@ -58,7 +57,32 @@ class PulseBackend:
         calibrated_qubits: Sequence[int] | None = None,
         include_cx_calibrations: bool = True,
         seed=None,
+        channel_store=None,
     ):
+        """Build a backend from a calibration snapshot.
+
+        Parameters
+        ----------
+        properties : BackendProperties
+            The calibration snapshot (frequencies, T1/T2, gate errors, …).
+        options : SimulationOptions, optional
+            Pulse-simulation knobs; defaults to :class:`SimulationOptions`.
+        calibrated_qubits : sequence of int, optional
+            Qubits to generate default calibrations for (all by default).
+        include_cx_calibrations : bool
+            Whether to calibrate the coupled-pair CX gates.
+        seed : optional
+            Seed of the backend's measurement-sampling RNG.
+        channel_store : optional
+            Default persistent Clifford-channel store for RB workloads on
+            this backend: ``"auto"``, a directory path, a
+            :class:`~repro.benchmarking.store.CliffordChannelStore`, or
+            ``None`` (no persistence).  Experiments may override it per run
+            via their own ``store=`` knob.  Stale reads after a properties
+            drift are impossible by construction — the store key embeds the
+            properties fingerprint (see
+            :meth:`~repro.benchmarking.store.CliffordChannelStore.channel_table_key`).
+        """
         self.properties = properties
         self.options = options or SimulationOptions()
         self.simulator = PulseSimulator(properties, self.options)
@@ -67,9 +91,17 @@ class PulseBackend:
         self.instruction_schedule_map: InstructionScheduleMap = default_instruction_schedule_map(
             properties, qubits=qubits, include_cx=include_cx_calibrations
         )
+        if channel_store is not None:
+            # resolve eagerly so a bad knob fails at construction, not mid-run
+            from ..benchmarking.store import resolve_store
+
+            channel_store = resolve_store(channel_store)
+        #: Default persistent store consulted by the RB channel engine
+        #: (overridable per experiment via ``store=``).
+        self.channel_store = channel_store
         self._channel_cache: dict[tuple, np.ndarray] = {}
-        #: Per-(qubits) Clifford-element channel tables built lazily by the
-        #: RB execution engine (see ``repro.benchmarking.engine``).
+        #: Per-(qubits, store) Clifford-element channel tables built lazily
+        #: by the RB execution engine (see ``repro.benchmarking.engine``).
         self._clifford_channel_tables: dict = {}
         self._cache_props_fp: str = properties.fingerprint()
 
@@ -78,10 +110,12 @@ class PulseBackend:
     # ------------------------------------------------------------------ #
     @property
     def name(self) -> str:
+        """Backend (device) name from the calibration snapshot."""
         return self.properties.name
 
     @property
     def basis_gates(self) -> tuple[str, ...]:
+        """Native gate basis of the device."""
         return self.properties.basis_gates
 
     def clear_channel_cache(self) -> None:

@@ -28,7 +28,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .noise import embed_channel
 from ..devices.cross_resonance import CrossResonanceModel
 from ..devices.properties import BackendProperties
 from ..devices.transmon import TransmonModel, computational_projector

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-import numpy as np
 
 from ..utils.validation import ValidationError
 

@@ -17,7 +17,14 @@ calibrated gates.  This package implements the full stack from scratch:
 * :mod:`~repro.benchmarking.engine` — the batched execution engine: cached
   per-Clifford superoperator channels composed per sequence (instead of
   re-executing every circuit gate-by-gate) with an optional process-pool
-  fan-out over sequences.
+  fan-out over sequences,
+* :mod:`~repro.benchmarking.tableau` — the symplectic-tableau Clifford
+  composer: composition and inversion as integer arithmetic on packed
+  binary tableaux instead of matrix products,
+* :mod:`~repro.benchmarking.store` — the persistent, content-addressed
+  on-disk store of per-Clifford channel tables (memory-mapped, shared
+  read-only across worker processes) and group enumerations, with a
+  ``store="auto" | path | None`` knob on the experiments.
 """
 
 from .clifford import CliffordGroup, clifford_group, CliffordElement
@@ -25,13 +32,21 @@ from .engine import CliffordChannelTable, clifford_channel_table
 from .fitting import fit_rb_decay, RBDecayFit
 from .rb import RBExperiment, RBResult, StandardRB, execute_rb_sequences, rb_circuits, rb_sequences
 from .irb import InterleavedRB, InterleavedRBExperiment, InterleavedRBResult
+from .store import CliffordChannelStore, ChannelTableHandle, default_store_root, resolve_store
+from .tableau import CliffordTableauIndex, Tableau
 
 __all__ = [
     "CliffordGroup",
     "CliffordElement",
     "CliffordChannelTable",
+    "CliffordChannelStore",
+    "CliffordTableauIndex",
+    "ChannelTableHandle",
+    "Tableau",
     "clifford_channel_table",
     "clifford_group",
+    "default_store_root",
+    "resolve_store",
     "fit_rb_decay",
     "RBDecayFit",
     "RBExperiment",

@@ -33,6 +33,7 @@ from typing import Sequence
 import numpy as np
 
 from .clifford import CliffordElement, CliffordGroup
+from .store import ChannelTableHandle, resolve_store
 from ..backend.noise import readout_confusion_matrix
 from ..backend.sampling import channel_output_probabilities, sample_measurement
 from ..circuits.circuit import QuantumCircuit
@@ -58,9 +59,27 @@ class CliffordChannelTable:
     native-gate word into the backend basis and composing the backend's
     cached gate channels — i.e. by the identical code path the circuit
     executor walks, just once per element instead of once per occurrence.
+
+    With a persistent ``store`` attached, previously materialized channels
+    are served from a read-only memory map of the on-disk table (one
+    kernel-page-cache copy shared by every process of a ``num_workers``
+    fan-out), and freshly built channels are merged back via
+    :meth:`flush` — warm sessions skip the per-element transpile entirely.
+
+    Parameters
+    ----------
+    backend : PulseBackend
+        The backend whose gate channels compose the element channels.
+    physical_qubits : sequence of int
+        Physical qubits the Clifford words act on (order fixes the
+        local-to-physical mapping).
+    group : CliffordGroup
+        The Clifford group being tabulated.
+    store : CliffordChannelStore, optional
+        Persistent store; ``None`` keeps the table purely in-memory.
     """
 
-    def __init__(self, backend, physical_qubits: Sequence[int], group: CliffordGroup):
+    def __init__(self, backend, physical_qubits: Sequence[int], group: CliffordGroup, store=None):
         self.backend = backend
         self.physical_qubits = tuple(int(q) for q in physical_qubits)
         if len(self.physical_qubits) != group.n_qubits:
@@ -71,13 +90,37 @@ class CliffordChannelTable:
         #: most significant factor) — matches ``PulseBackend.circuit_channel``.
         self.active = sorted(self.physical_qubits)
         self.group = group
+        self.store = store
+        self.store_key: str | None = None
         self._channels: dict[int, np.ndarray] = {}
+        #: Pending (built this session, not yet flushed) element indices.
+        self._dirty: set[int] = set()
+        self._stored_ids: np.ndarray | None = None
+        self._stored: np.ndarray | None = None
+        if store is not None:
+            self.store_key = store.channel_table_key(backend, self.physical_qubits, group)
+            loaded = store.load_channel_table(self.store_key)
+            if loaded is not None:
+                self._stored_ids, self._stored = loaded
 
     def channel(self, element: CliffordElement) -> np.ndarray:
         """Superoperator channel of a Clifford element (cached)."""
         return self.channel_by_index(element.index)
 
+    def _stored_channel(self, index: int) -> np.ndarray | None:
+        """The persisted channel of an element, or None when not on disk."""
+        if self._stored_ids is None or len(self._stored_ids) == 0:
+            return None
+        pos = int(np.searchsorted(self._stored_ids, index))
+        if pos >= len(self._stored_ids) or self._stored_ids[pos] != index:
+            return None
+        return self._stored[pos]
+
     def channel_by_index(self, index: int) -> np.ndarray:
+        """Channel of the element at a group index (mmap, cache, or build)."""
+        stored = self._stored_channel(index)
+        if stored is not None:
+            return stored
         channel = self._channels.get(index)
         if channel is None:
             element = self.group.element(index)
@@ -94,30 +137,99 @@ class CliffordChannelTable:
                 transpiled, qubits=self.active, transpiled=True
             )
             self._channels[index] = channel
+            self._dirty.add(index)
         return channel
 
     def materialize(self, indices) -> dict[int, np.ndarray]:
         """Channels for a set of element indices as a plain (picklable) dict."""
-        return {int(i): self.channel_by_index(int(i)) for i in set(indices)}
+        return {int(i): np.asarray(self.channel_by_index(int(i))) for i in set(indices)}
+
+    def ensure(self, indices) -> None:
+        """Build (and, with a store, persist) the channels of ``indices``."""
+        for index in set(int(i) for i in indices):
+            self.channel_by_index(index)
+        self.flush()
+
+    def flush(self) -> None:
+        """Merge channels built this session into the persistent store.
+
+        No-op without a store or without fresh channels.  After a flush the
+        table re-opens the merged on-disk generation, so subsequent reads —
+        and worker processes via :meth:`handle` — see one consistent memory
+        map.
+        """
+        if self.store is None or not self._dirty:
+            return
+        fresh = {index: self._channels[index] for index in self._dirty}
+        self.store.save_channel_table(
+            self.store_key,
+            fresh,
+            metadata={
+                "backend": self.backend.name,
+                "physical_qubits": list(self.physical_qubits),
+                "n_qubits": self.group.n_qubits,
+            },
+        )
+        loaded = self.store.load_channel_table(self.store_key)
+        if loaded is not None:
+            self._stored_ids, self._stored = loaded
+            self._channels.clear()
+        self._dirty.clear()
+
+    def handle(self) -> ChannelTableHandle | None:
+        """Picklable handle to the current on-disk generation (or None)."""
+        if self.store is None:
+            return None
+        return self.store.handle(self.store_key)
 
     def __len__(self) -> int:
-        return len(self._channels)
+        """Number of channels reachable without building (memory + disk)."""
+        stored = 0 if self._stored_ids is None else len(self._stored_ids)
+        return len(self._channels) + stored
 
 
 def clifford_channel_table(
-    backend, physical_qubits: Sequence[int], group: CliffordGroup
+    backend, physical_qubits: Sequence[int], group: CliffordGroup, store=None
 ) -> CliffordChannelTable:
     """The backend's (cached) Clifford channel table for a qubit set.
 
     Tables live on the backend instance and are dropped by
     ``PulseBackend.clear_channel_cache`` / the properties-drift freshness
     check, so a drifted calibration snapshot never serves stale channels.
+    On disk the same guarantee holds by construction: the store key digests
+    the properties fingerprint, so a drifted snapshot addresses a different
+    table.
+
+    Parameters
+    ----------
+    backend : PulseBackend
+        The backend to tabulate.
+    physical_qubits : sequence of int
+        Physical qubits of the Clifford words.
+    group : CliffordGroup
+        Group being tabulated.
+    store : optional
+        Store selector (``"auto"``, path, store instance, ``False`` or
+        ``None``).  ``None`` inherits the backend's ``channel_store``;
+        ``False`` forces a purely in-memory table.
+
+    Returns
+    -------
+    CliffordChannelTable
+        The cached (per backend instance, per qubit set, per store) table.
     """
     backend._check_cache_freshness()
-    key = (tuple(int(q) for q in physical_qubits), group.n_qubits)
+    if store is None:
+        store = getattr(backend, "channel_store", None)
+    store = resolve_store(store)
+    key = (
+        tuple(int(q) for q in physical_qubits),
+        group.n_qubits,
+        None if store is None else str(store.root),
+    )
     table = backend._clifford_channel_tables.get(key)
     if table is None:
-        table = CliffordChannelTable(backend, physical_qubits, group)
+        table = CliffordChannelTable(backend, physical_qubits, group, store=store)
         backend._clifford_channel_tables[key] = table
     return table
 
@@ -165,9 +277,15 @@ class _SequenceJob:
 
 @dataclass(frozen=True)
 class _EngineContext:
-    """Shared, picklable execution context for the sequence workers."""
+    """Shared, picklable execution context for the sequence workers.
 
-    channels: dict[int, np.ndarray]
+    Exactly one of ``channels`` (a plain per-index dict, pickled to every
+    worker) and ``handle`` (a :class:`ChannelTableHandle` the workers
+    memory-map locally, sharing the kernel page cache) is set.
+    """
+
+    channels: dict[int, np.ndarray] | None
+    handle: ChannelTableHandle | None
     interleaved_channel: np.ndarray | None
     active: tuple[int, ...]
     measured: tuple[tuple[int, int], ...]
@@ -175,17 +293,23 @@ class _EngineContext:
     shots: int
     backend_name: str
 
+    def channel(self, index: int) -> np.ndarray:
+        """Channel of one Clifford element from the dict or the memory map."""
+        if self.channels is not None:
+            return self.channels[index]
+        return self.handle.channel(index)
+
 
 def _run_sequence_job(context: _EngineContext, job: _SequenceJob) -> float:
     """Compose one sequence's channel, sample it, return the survival."""
-    dim2 = context.channels[job.recovery_index].shape[0]
-    total = np.eye(dim2, dtype=complex)
+    recovery = context.channel(job.recovery_index)
+    total = np.eye(recovery.shape[0], dtype=complex)
     inter = context.interleaved_channel if job.interleaved else None
     for idx in job.indices:
-        total = context.channels[idx] @ total
+        total = context.channel(idx) @ total
         if inter is not None:
             total = inter @ total
-    total = context.channels[job.recovery_index] @ total
+    total = recovery @ total
     probs = channel_output_probabilities(total, len(context.active))
     result = sample_measurement(
         probs,
@@ -210,6 +334,7 @@ def execute_sequences_with_channels(
     interleaved_calibration: Schedule | None = None,
     seed=None,
     num_workers: int = 1,
+    store=None,
 ) -> list[float]:
     """Execute RB sequences by composing cached channels; returns survivals.
 
@@ -217,9 +342,40 @@ def execute_sequences_with_channels(
     the same draws, in the same order, as the circuit-based executor — so
     the two engines produce identical survival statistics (up to float
     tolerance of the composed channels).
+
+    Parameters
+    ----------
+    backend : PulseBackend
+        Backend whose cached gate channels back the Clifford table.
+    sequences : list of RBSequence
+        Sequences with element indices and recovery indices populated.
+    physical_qubits : sequence of int
+        Benchmarked physical qubits.
+    shots : int
+        Shots per sequence.
+    group : CliffordGroup
+        The Clifford group of the sequences.
+    interleaved_gate : Gate, optional
+        Gate inserted after every Clifford of interleaved sequences.
+    interleaved_calibration : Schedule, optional
+        Custom calibration of the interleaved gate.
+    seed : optional
+        Seed of the per-sequence sampling-seed stream.
+    num_workers : int
+        Process fan-out (see :func:`repro.utils.parallel.parallel_map`).
+    store : optional
+        Persistent channel-store selector (``"auto"``, path, store
+        instance, ``False`` or ``None`` = inherit the backend's default).
+        With a store, used channels are persisted before dispatch and the
+        workers memory-map them instead of receiving pickled copies.
+
+    Returns
+    -------
+    list of float
+        Ground-state survival of every sequence, in input order.
     """
     physical_qubits = [int(q) for q in physical_qubits]
-    table = clifford_channel_table(backend, physical_qubits, group)
+    table = clifford_channel_table(backend, physical_qubits, group, store=store)
     needs_interleaved = any(seq.interleaved for seq in sequences)
     inter_channel = None
     if needs_interleaved:
@@ -251,8 +407,24 @@ def execute_sequences_with_channels(
                 name=f"{'irb' if seq.interleaved else 'rb'}_m{seq.length}_s{seq.seed_index}",
             )
         )
+    if table.store is not None:
+        table.ensure(used_indices)
+        handle = table.handle()
+        if handle is not None:
+            # A concurrent cold-start on the same key may have won the
+            # manifest race with a generation missing some of our elements
+            # (merges are last-writer-wins); only ship the handle when it
+            # covers the workload, else fall back to pickled channels.
+            ids, _ = handle.table()
+            if not np.isin(np.fromiter(used_indices, dtype=np.int64), ids).all():
+                handle = None
+        channels = None if handle is not None else table.materialize(used_indices)
+    else:
+        handle = None
+        channels = table.materialize(used_indices)
     context = _EngineContext(
-        channels=table.materialize(used_indices),
+        channels=channels,
+        handle=handle,
         interleaved_channel=inter_channel,
         active=tuple(table.active),
         measured=tuple((int(q), clbit) for clbit, q in enumerate(physical_qubits)),

@@ -25,7 +25,6 @@ from typing import Sequence
 
 import numpy as np
 
-from .fitting import RBDecayFit, fit_rb_decay
 from .rb import RBResult, RBSequence, _check_engine, execute_rb_sequences, rb_circuits, rb_sequences
 from ..circuits.gate import Gate
 from ..pulse.schedule import Schedule
@@ -116,7 +115,35 @@ class InterleavedRBResult:
 
 
 class InterleavedRBExperiment:
-    """Interleaved RB of one gate (optionally with a custom calibration)."""
+    """Interleaved RB of one gate (optionally with a custom calibration).
+
+    Parameters
+    ----------
+    backend : PulseBackend
+        Backend the two RB curves run against.
+    gate : Gate or str
+        The interleaved gate of interest (must be a Clifford).
+    physical_qubits : sequence of int
+        Benchmarked physical qubits (1 or 2).
+    lengths : sequence of int, optional
+        Sequence lengths; defaults depend on the qubit count.
+    n_seeds : int
+        Random sequences per length.
+    shots : int
+        Shots per sequence.
+    seed : optional
+        Sequence-sampling and execution seed.
+    custom_calibration : Schedule, optional
+        Pulse schedule replacing the default calibration of the interleaved
+        gate only (the paper's optimized-pulse mechanism).
+    engine : str
+        ``"channels"`` (batched engine, default) or ``"circuits"``.
+    num_workers : int
+        Process fan-out of the channel engine.
+    store : optional
+        Persistent Clifford-store selector (``"auto"`` | path | store |
+        ``False`` | ``None`` = inherit the backend's ``channel_store``).
+    """
 
     def __init__(
         self,
@@ -130,6 +157,7 @@ class InterleavedRBExperiment:
         custom_calibration: Schedule | None = None,
         engine: str = "channels",
         num_workers: int = 1,
+        store=None,
     ):
         self.backend = backend
         base_gate = Gate.standard(gate) if isinstance(gate, str) else gate
@@ -146,6 +174,7 @@ class InterleavedRBExperiment:
         self.custom_calibration = custom_calibration
         self.engine = _check_engine(engine)
         self.num_workers = int(num_workers)
+        self.store = store
         self.base_gate_name = base_gate.name
         if custom_calibration is not None:
             # Give the interleaved instances a distinct name so the custom
@@ -182,6 +211,9 @@ class InterleavedRBExperiment:
         counts practical for the benchmark harness, leaving it free makes the
         α_c ratio — and hence the interleaved-gate error — unstable.
         """
+        from .rb import _resolve_experiment_store
+
+        store = _resolve_experiment_store(self.store, self.backend)
         if self.engine == "circuits":
             sequences = self.circuits()
         else:
@@ -193,6 +225,7 @@ class InterleavedRBExperiment:
                 interleaved_gate=self.gate,
                 interleaved_qubits=self.physical_qubits,
                 build_circuits=False,
+                store=store,
             )
         fixed_asymptote = 0.25 if self.n_qubits == 2 else None
         common = dict(
@@ -201,6 +234,7 @@ class InterleavedRBExperiment:
             engine=self.engine,
             num_workers=self.num_workers,
             physical_qubits=self.physical_qubits,
+            store=store,
         )
         reference = execute_rb_sequences(
             self.backend,

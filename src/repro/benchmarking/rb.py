@@ -48,6 +48,23 @@ def _check_engine(engine: str) -> str:
     return engine
 
 
+def _resolve_experiment_store(store, backend):
+    """Resolve an experiment-level ``store`` knob against the backend default.
+
+    Returns either a resolved
+    :class:`~repro.benchmarking.store.CliffordChannelStore` or ``False``
+    (persistence off), never ``None`` — so downstream layers do not re-apply
+    the backend fallback.
+    """
+    from .store import resolve_store
+
+    if store is not None:
+        resolved = resolve_store(store)
+    else:
+        resolved = resolve_store(getattr(backend, "channel_store", None))
+    return resolved if resolved is not None else False
+
+
 @dataclass
 class RBSequence:
     """One RB sequence together with its generation metadata.
@@ -134,6 +151,7 @@ def rb_circuits(
     seed=None,
     interleaved_gate: Gate | None = None,
     interleaved_qubits: Sequence[int] | None = None,
+    store=None,
 ) -> list[RBSequence]:
     """Generate standard (and optionally interleaved) RB circuits.
 
@@ -148,6 +166,7 @@ def rb_circuits(
         interleaved_gate=interleaved_gate,
         interleaved_qubits=interleaved_qubits,
         build_circuits=True,
+        store=store,
     )
 
 
@@ -159,6 +178,7 @@ def rb_sequences(
     interleaved_gate: Gate | None = None,
     interleaved_qubits: Sequence[int] | None = None,
     build_circuits: bool = True,
+    store=None,
 ) -> list[RBSequence]:
     """Generate standard (and optionally interleaved) RB sequences.
 
@@ -187,6 +207,11 @@ def rb_sequences(
         indices are generated (no :class:`QuantumCircuit` objects) — the
         representation consumed by the batched channel engine.  The random
         element draws are identical either way.
+    store:
+        Persistent-store selector (``"auto"``, a path, a store instance or
+        ``None``) forwarded to
+        :func:`~repro.benchmarking.clifford.clifford_group`, so the group
+        enumeration is loaded from (or saved to) disk.
 
     Returns
     -------
@@ -197,7 +222,7 @@ def rb_sequences(
     n_qubits = len(physical_qubits)
     if n_qubits not in (1, 2):
         raise ValidationError("RB supports 1 or 2 qubits")
-    group = clifford_group(n_qubits)
+    group = clifford_group(n_qubits, store=store)
     if lengths is None:
         lengths = DEFAULT_LENGTHS_1Q if n_qubits == 1 else DEFAULT_LENGTHS_2Q
     lengths = [int(m) for m in lengths]
@@ -296,18 +321,22 @@ class RBResult:
 
     @property
     def alpha(self) -> float:
+        """Fitted depolarizing decay parameter."""
         return self.fit.alpha
 
     @property
     def alpha_err(self) -> float:
+        """1σ uncertainty of :attr:`alpha`."""
         return self.fit.alpha_err
 
     @property
     def error_per_clifford(self) -> float:
+        """Error per Clifford ``(d-1)/d · (1-α)``."""
         return self.fit.error_per_clifford(self.n_qubits)[0]
 
     @property
     def error_per_clifford_err(self) -> float:
+        """1σ uncertainty of :attr:`error_per_clifford`."""
         return self.fit.error_per_clifford(self.n_qubits)[1]
 
     def __repr__(self) -> str:
@@ -331,6 +360,13 @@ class RBExperiment:
     num_workers:
         Fan sequences out over a process pool (``1`` = serial, ``0`` = all
         available CPUs, see :func:`repro.utils.parallel.parallel_map`).
+    store:
+        Persistent Clifford-store selector: ``"auto"`` (default cache
+        directory), a directory path, a
+        :class:`~repro.benchmarking.store.CliffordChannelStore`, ``False``
+        (force off) or ``None`` (default — inherit the backend's
+        ``channel_store``).  See ``docs/caching.md`` for the full
+        cache/fingerprint/invalidation contract.
     """
 
     def __init__(
@@ -343,6 +379,7 @@ class RBExperiment:
         seed=None,
         engine: str = "channels",
         num_workers: int = 1,
+        store=None,
     ):
         self.backend = backend
         self.physical_qubits = [int(q) for q in physical_qubits]
@@ -357,8 +394,14 @@ class RBExperiment:
         self.seed = seed
         self.engine = _check_engine(engine)
         self.num_workers = int(num_workers)
+        self.store = store
+
+    def _resolved_store(self):
+        """The experiment's store (or ``False``), honoring the backend default."""
+        return _resolve_experiment_store(self.store, self.backend)
 
     def circuits(self) -> list[RBSequence]:
+        """The experiment's RB sequence circuits (circuit engine form)."""
         return rb_circuits(
             self.physical_qubits, self.lengths, self.n_seeds, seed=self.seed
         )
@@ -372,12 +415,14 @@ class RBExperiment:
         per-circuit calibrations on gates inside the Clifford words).
         """
         engine = "circuits" if calibrations else self.engine
+        store = self._resolved_store()
         sequences = rb_sequences(
             self.physical_qubits,
             self.lengths,
             self.n_seeds,
             seed=self.seed,
             build_circuits=engine == "circuits",
+            store=store,
         )
         return execute_rb_sequences(
             self.backend,
@@ -389,6 +434,7 @@ class RBExperiment:
             engine=engine,
             num_workers=self.num_workers,
             physical_qubits=self.physical_qubits,
+            store=store,
         )
 
 
@@ -440,6 +486,7 @@ def execute_rb_sequences(
     physical_qubits: Sequence[int] | None = None,
     interleaved_gate: Gate | None = None,
     interleaved_calibration=None,
+    store=None,
 ) -> RBResult:
     """Run RB sequences on a backend and fit the survival decay.
 
@@ -449,9 +496,14 @@ def execute_rb_sequences(
     to the circuit path automatically when per-circuit ``calibrations`` are
     given or the metadata is unavailable.  Both engines draw identical
     per-sequence sampling seeds from ``seed``, in sequence order.
+
+    ``store`` selects the persistent Clifford store for the channel engine
+    (``"auto"``, a path, a store instance, ``False`` to force off, or
+    ``None`` to inherit the backend's ``channel_store``).
     """
     if not sequences:
         raise ValidationError("no RB sequences to execute")
+    store = _resolve_experiment_store(store, backend)
     use_channels = (
         engine == "channels"
         and not calibrations
@@ -468,11 +520,12 @@ def execute_rb_sequences(
             sequences,
             qubits,
             shots,
-            clifford_group(n_qubits),
+            clifford_group(n_qubits, store=store),
             interleaved_gate=interleaved_gate,
             interleaved_calibration=interleaved_calibration,
             seed=seed,
             num_workers=num_workers,
+            store=store,
         )
         return _fit_survivals(sequences, survivals, n_qubits, fixed_asymptote)
     rng = default_rng(seed)

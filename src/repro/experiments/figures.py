@@ -115,8 +115,9 @@ def _single_qubit_irb_figure(
     seed: int,
     optimizer_levels: int = 3,
     num_workers: int = 1,
+    store=None,
 ) -> dict:
-    backend = PulseBackend(device_props, calibrated_qubits=[0, 1], seed=seed)
+    backend = PulseBackend(device_props, calibrated_qubits=[0, 1], seed=seed, channel_store=store)
     config = GateExperimentConfig(
         gate=gate,
         qubits=(0,),
@@ -156,17 +157,17 @@ def _single_qubit_irb_figure(
     return out
 
 
-def fig3_x_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
+def fig3_x_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
     """Fig. 3: IRB for the custom (105 ns) vs default X gate + histogram."""
     lengths = (1, 16, 48, 96, 160) if fast else (1, 16, 48, 96, 160, 240)
     return _single_qubit_irb_figure(
         "x", fake_montreal(), 105.0, 12, True, lengths,
         n_seeds=4 if fast else 8, shots=400 if fast else 1200,
-        histogram_shots=4000, seed=seed, num_workers=num_workers,
+        histogram_shots=4000, seed=seed, num_workers=num_workers, store=store,
     )
 
 
-def fig4_sx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
+def fig4_sx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
     """Fig. 4: IRB for the custom (162 ns) vs default √X gate + histogram.
 
     As in the paper, the √X optimization neglects decoherence.
@@ -175,11 +176,11 @@ def fig4_sx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> di
     return _single_qubit_irb_figure(
         "sx", fake_montreal(), 162.0, 14, False, lengths,
         n_seeds=4 if fast else 8, shots=400 if fast else 1200,
-        histogram_shots=4000, seed=seed, num_workers=num_workers,
+        histogram_shots=4000, seed=seed, num_workers=num_workers, store=store,
     )
 
 
-def fig5_h_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
+def fig5_h_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
     """Fig. 5: IRB for the custom (267 ns) vs default H gate + histogram.
 
     As in the paper, this long-duration H pulse is optimized on the bare
@@ -192,7 +193,7 @@ def fig5_h_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dic
         "h", fake_toronto(), 267.0, 16, False, lengths,
         n_seeds=4 if fast else 8, shots=400 if fast else 1200,
         histogram_shots=4000, seed=seed, optimizer_levels=2,
-        num_workers=num_workers,
+        num_workers=num_workers, store=store,
     )
 
 
@@ -268,10 +269,10 @@ def fig7_cx_schedule(seed: int = 2022) -> dict:
 # --------------------------------------------------------------------------- #
 # Fig. 8 — CX IRB, custom vs default
 # --------------------------------------------------------------------------- #
-def fig8_cx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1) -> dict:
+def fig8_cx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
     """Fig. 8: IRB decay for the custom (1193 ns) vs default CX on montreal."""
     props = fake_montreal()
-    backend = PulseBackend(props, calibrated_qubits=[0, 1], seed=seed)
+    backend = PulseBackend(props, calibrated_qubits=[0, 1], seed=seed, channel_store=store)
     config = GateExperimentConfig(
         gate="cx",
         qubits=(0, 1),

@@ -9,18 +9,60 @@ The serial path is the default because the individual tasks in this library
 are NumPy-heavy (they already use multi-threaded BLAS) and typically complete
 in milliseconds to seconds; process-pool pickling overhead only pays off for
 long-running independent tasks such as full IRB experiments.
+
+The pool is **persistent**: repeated ``parallel_map`` calls with the same
+worker count reuse one module-level :class:`ProcessPoolExecutor` instead of
+re-spawning workers per call.  Worker startup (fork + interpreter/numpy
+warm-up) costs tens to hundreds of milliseconds, which used to dominate
+sub-second RB workloads; with reuse it is paid once per session.  Workers
+also keep their process-local caches — notably the memory-mapped channel
+tables of :mod:`repro.benchmarking.store` — warm across calls.  Call
+:func:`shutdown_pool` to reclaim the workers explicitly (an ``atexit`` hook
+does it at interpreter exit).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "available_workers", "auto_chunksize"]
+__all__ = ["parallel_map", "available_workers", "auto_chunksize", "shutdown_pool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: The persistent executor and the worker count it was created with.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS: int = 0
+
+
+def _get_pool(num_workers: int) -> ProcessPoolExecutor:
+    """The persistent executor, (re)created when the worker count changes."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS != num_workers:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=num_workers)
+        _POOL_WORKERS = num_workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Shut down the persistent worker pool (no-op when none is running).
+
+    Safe to call at any time; the next ``parallel_map`` with
+    ``num_workers > 1`` transparently starts a fresh pool.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
 
 
 def available_workers() -> int:
@@ -49,6 +91,7 @@ def parallel_map(
     items: Iterable[T],
     num_workers: int = 1,
     chunksize: int | None = None,
+    reuse_pool: bool = True,
 ) -> list[R]:
     """Map ``func`` over ``items``, optionally using a process pool.
 
@@ -67,6 +110,10 @@ def parallel_map(
     chunksize:
         Chunk size forwarded to the executor map (ignored serially).
         ``None`` (default) picks :func:`auto_chunksize`.
+    reuse_pool:
+        Reuse the persistent module-level pool across calls (default) so
+        repeated maps do not pay worker startup each time.  ``False``
+        creates and tears down a dedicated pool for this call only.
 
     Returns
     -------
@@ -82,5 +129,13 @@ def parallel_map(
         return [func(item) for item in items]
     if chunksize is None:
         chunksize = auto_chunksize(len(items), num_workers)
-    with ProcessPoolExecutor(max_workers=num_workers) as pool:
-        return list(pool.map(func, items, chunksize=max(1, chunksize)))
+    chunksize = max(1, chunksize)
+    if not reuse_pool:
+        with ProcessPoolExecutor(max_workers=num_workers) as pool:
+            return list(pool.map(func, items, chunksize=chunksize))
+    try:
+        return list(_get_pool(num_workers).map(func, items, chunksize=chunksize))
+    except BrokenProcessPool:
+        # a worker died (OOM-kill, crash); replace the pool and retry once
+        shutdown_pool()
+        return list(_get_pool(num_workers).map(func, items, chunksize=chunksize))
