@@ -19,6 +19,13 @@ store: a cold session transpiles and composes every used two-qubit element
 channel and persists it; a warm session memory-maps the stored table (and
 loads the group enumeration) instead.  Warm setup must be at least 5× faster
 than cold, and the reopened channels must be bit-identical.
+
+``test_rb_session_shared_prep`` benchmarks the session layer: three IRB
+specs on the same qubit submitted through one ``Session`` share a single
+backend and a single Clifford channel-table build (asserted via the store's
+write counters), versus the legacy pattern of three standalone experiments
+each rebuilding their own.  The session must be measurably faster and
+bit-identical.
 """
 
 import os
@@ -32,6 +39,7 @@ from repro.benchmarking import store as store_module
 from repro.benchmarking.clifford import CliffordGroup, clifford_group
 from repro.circuits.gate import Gate
 from repro.devices import fake_montreal
+from repro.session import IRBSpec, Session
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -162,6 +170,95 @@ def _store_cold_vs_warm(root) -> dict:
         CliffordGroup(n_qubits)
         data["group_bfs_wall_clock_s"] = time.perf_counter() - start
     return data
+
+
+def _session_vs_sequential(root) -> dict:
+    """Three overlapping IRB specs: one planned session vs standalone runs.
+
+    Full mode benchmarks the two-qubit CX workload (the Fig. 8 shape),
+    where per-element channel construction dominates setup — the artifact
+    the session shares; smoke mode shrinks to the single-qubit gate.
+    """
+    if SMOKE:
+        gate, qubits, lengths, shots = "x", (0,), (1, 4, 8), 100
+    else:
+        gate, qubits, lengths, shots = "cx", (0, 1), (1, 2, 4, 8), 200
+    specs = [
+        IRBSpec(
+            device="montreal", gate=gate, qubits=qubits, lengths=lengths,
+            n_seeds=2, shots=shots, seed=seed,
+        )
+        for seed in (101, 102, 103)
+    ]
+    # warm the process-wide group cache so neither contender pays the
+    # one-off BFS/enumeration inside its timed region
+    clifford_group(len(qubits))
+
+    # the legacy pattern: every experiment rebuilds its own backend, gate
+    # channels and Clifford channel table from scratch
+    start = time.perf_counter()
+    sequential = []
+    for spec in specs:
+        backend = PulseBackend(fake_montreal(), calibrated_qubits=[0, 1], seed=2022)
+        experiment = InterleavedRBExperiment(
+            backend, Gate.standard(gate), list(qubits), lengths=spec.lengths,
+            n_seeds=spec.n_seeds, shots=spec.shots, seed=spec.seed,
+        )
+        sequential.append(experiment.run())
+    sequential_wall = time.perf_counter() - start
+
+    # the session path: one backend, one table build (union of all three
+    # spec's sequences), persisted exactly once, then fan out
+    store = CliffordChannelStore(root)
+    start = time.perf_counter()
+    with Session(store=store, num_workers=1) as session:
+        results = session.run_all(specs)
+    session_wall = time.perf_counter() - start
+
+    max_abs_diff = max(
+        float(np.max(np.abs(
+            result["interleaved_survival_mean"] - standalone.interleaved.survival_mean
+        )))
+        for result, standalone in zip(results, sequential)
+    )
+    gate_error_abs_diff = max(
+        abs(result["gate_error"] - standalone.gate_error)
+        for result, standalone in zip(results, sequential)
+    )
+    return {
+        "n_specs": len(specs),
+        "sequential_wall_clock_s": sequential_wall,
+        "session_wall_clock_s": session_wall,
+        "shared_prep_gain": sequential_wall / session_wall,
+        "table_writes": store.stats["table_writes"],
+        "table_write_skips": store.stats["table_write_skips"],
+        "elements_written": store.stats["elements_written"],
+        "max_survival_abs_diff": max_abs_diff,
+        "gate_error_abs_diff": gate_error_abs_diff,
+    }
+
+
+def test_rb_session_shared_prep(benchmark, save_results, bench_metrics, tmp_path):
+    data = benchmark.pedantic(
+        _session_vs_sequential, args=(tmp_path / "store",), rounds=1, iterations=1
+    )
+    # correctness: the session replays the exact standalone statistics...
+    assert data["max_survival_abs_diff"] == 0.0
+    assert data["gate_error_abs_diff"] == 0.0
+    # ...and the shared 1q channel table is persisted exactly once
+    assert data["table_writes"] == 1
+    if not SMOKE:
+        # acceptance: shared preparation must be a measurable win
+        assert data["shared_prep_gain"] >= 1.15, (
+            f"session shared-prep gain regressed: {data['shared_prep_gain']:.2f}x"
+        )
+    bench_metrics["rb_session"] = {
+        "session_wall_clock_s": data["session_wall_clock_s"],
+        "sequential_wall_clock_s": data["sequential_wall_clock_s"],
+        "shared_prep_gain": data["shared_prep_gain"],
+        "table_writes": data["table_writes"],
+    }
+    save_results("rb_session", data)
 
 
 def test_rb_store_cold_vs_warm(benchmark, save_results, bench_metrics, tmp_path):

@@ -18,6 +18,10 @@ built from scratch on NumPy/SciPy:
                         Krotov, CRAB, GOAT, SPSA) behind
                         :func:`repro.core.optimize_pulse_unitary`
 * ``repro.experiments`` — drivers reproducing every table and figure
+* ``repro.session``   — the declarative experiment API: serializable
+                        specs, the cross-experiment planner and the
+                        :class:`~repro.session.session.Session` submission
+                        surface (see docs/sessions.md)
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
@@ -34,6 +38,7 @@ __all__ = [
     "benchmarking",
     "core",
     "experiments",
+    "session",
     "utils",
     "__version__",
 ]

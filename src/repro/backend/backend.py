@@ -105,6 +105,33 @@ class PulseBackend:
         self._clifford_channel_tables: dict = {}
         self._cache_props_fp: str = properties.fingerprint()
 
+    @classmethod
+    def from_device(cls, device: str, **kwargs) -> "PulseBackend":
+        """Build a backend from a fake-device name.
+
+        Convenience constructor used by the session layer (and handy
+        interactively): resolves ``device`` through
+        :func:`repro.devices.library.get_device` (any reasonable alias —
+        ``"montreal"``, ``"ibmq_montreal"``, ``"fake_montreal"``) and
+        forwards ``kwargs`` to the regular constructor.
+
+        Parameters
+        ----------
+        device : str
+            Device name understood by the registry.
+        **kwargs
+            Passed through to :class:`PulseBackend` (``options``,
+            ``calibrated_qubits``, ``seed``, ``channel_store``, …).
+
+        Returns
+        -------
+        PulseBackend
+            A backend on a fresh calibration snapshot of the device.
+        """
+        from ..devices.library import get_device
+
+        return cls(get_device(device), **kwargs)
+
     # ------------------------------------------------------------------ #
     # properties / bookkeeping
     # ------------------------------------------------------------------ #

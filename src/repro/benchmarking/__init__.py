@@ -28,7 +28,7 @@ calibrated gates.  This package implements the full stack from scratch:
 """
 
 from .clifford import CliffordGroup, clifford_group, CliffordElement
-from .engine import CliffordChannelTable, clifford_channel_table
+from .engine import CliffordChannelTable, clifford_channel_table, used_element_indices
 from .fitting import fit_rb_decay, RBDecayFit
 from .rb import RBExperiment, RBResult, StandardRB, execute_rb_sequences, rb_circuits, rb_sequences
 from .irb import InterleavedRB, InterleavedRBExperiment, InterleavedRBResult
@@ -45,6 +45,7 @@ __all__ = [
     "Tableau",
     "clifford_channel_table",
     "clifford_group",
+    "used_element_indices",
     "default_store_root",
     "resolve_store",
     "fit_rb_decay",

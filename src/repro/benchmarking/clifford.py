@@ -92,20 +92,7 @@ class CliffordGroup:
     # construction
     # ------------------------------------------------------------------ #
     def _generators(self) -> list[tuple[tuple[str, tuple[int, ...]], np.ndarray]]:
-        h = hadamard()
-        s = s_gate()
-        if self.n_qubits == 1:
-            return [(("h", (0,)), h), (("s", (0,)), s)]
-        eye = np.eye(2, dtype=complex)
-        gens: list[tuple[tuple[str, tuple[int, ...]], np.ndarray]] = [
-            (("h", (0,)), np.kron(h, eye)),
-            (("h", (1,)), np.kron(eye, h)),
-            (("s", (0,)), np.kron(s, eye)),
-            (("s", (1,)), np.kron(eye, s)),
-            (("cx", (0, 1)), cx_gate()),
-            (("cx", (1, 0)), _cx_reversed()),
-        ]
-        return gens
+        return _generator_list(self.n_qubits)
 
     def _build(self) -> None:
         dim = 2**self.n_qubits
@@ -276,21 +263,32 @@ class CliffordGroup:
     # ------------------------------------------------------------------ #
     # persistence (consumed by repro.benchmarking.store)
     # ------------------------------------------------------------------ #
-    def to_arrays(self) -> dict[str, np.ndarray]:
+    def to_arrays(self, include_matrices: bool = False) -> dict[str, np.ndarray]:
         """Flatten the enumerated group into plain arrays.
 
-        The payload (generator words as packed int triples, element
-        matrices, tableau rows/phases) is everything needed to rebuild the
-        group without re-running the breadth-first enumeration; it is what
+        The payload (generator words as packed int triples, tableau
+        rows/phases) is everything needed to rebuild the group without
+        re-running the breadth-first enumeration; it is what
         :class:`~repro.benchmarking.store.CliffordChannelStore` persists so
-        warm sessions skip the ~2 s two-qubit BFS.
+        warm sessions skip the ~2 s two-qubit BFS.  Element matrices are
+        **omitted by default** — they dominated the persisted two-qubit
+        file (~2.9 MB of ~3 MB) and :meth:`from_arrays` re-derives them
+        bit-identically from the words (see
+        :func:`_matrices_from_words`).
+
+        Parameters
+        ----------
+        include_matrices : bool
+            Also emit the ``matrices`` stack (the pre-slimming format,
+            still accepted by :meth:`from_arrays` for old store files).
 
         Returns
         -------
         dict of str to ndarray
             ``words`` (total_gates, 3) int8 ``(gate_id, q0, q1)`` triples,
-            ``word_offsets`` (N+1,) int32, ``matrices`` (N, d, d) complex,
-            ``tableau_rows`` / ``tableau_phases`` (N, 2n) uint8.
+            ``word_offsets`` (N+1,) int32, ``tableau_rows`` /
+            ``tableau_phases`` (N, 2n) uint8, and — only with
+            ``include_matrices`` — ``matrices`` (N, d, d) complex.
         """
         triples: list[tuple[int, int, int]] = []
         offsets = [0]
@@ -301,13 +299,15 @@ class CliffordGroup:
                 triples.append((_GATE_IDS[name], q0, q1))
             offsets.append(len(triples))
         rows, phases = self.tableau_index().to_arrays()
-        return {
+        arrays = {
             "words": np.array(triples, dtype=np.int8).reshape(-1, 3),
             "word_offsets": np.array(offsets, dtype=np.int32),
-            "matrices": np.stack([e.matrix for e in self._elements]),
             "tableau_rows": rows,
             "tableau_phases": phases,
         }
+        if include_matrices:
+            arrays["matrices"] = np.stack([e.matrix for e in self._elements])
+        return arrays
 
     @classmethod
     def from_arrays(cls, n_qubits: int, arrays: dict[str, np.ndarray]) -> "CliffordGroup":
@@ -315,7 +315,11 @@ class CliffordGroup:
 
         Skips the breadth-first search entirely: elements, the
         phase-normalized lookup dictionary and the tableau index are all
-        restored from the arrays.
+        restored from the arrays.  Slim payloads (the default
+        :meth:`to_arrays` output) carry no ``matrices`` entry — the element
+        matrices are re-derived from the words, bit-identical to the eager
+        enumeration; payloads from older store files that still embed the
+        matrices are used as-is.
         """
         if n_qubits not in (1, 2):
             raise ValidationError(f"CliffordGroup supports 1 or 2 qubits, got {n_qubits}")
@@ -323,11 +327,18 @@ class CliffordGroup:
         group.n_qubits = n_qubits
         triples = np.asarray(arrays["words"], dtype=np.int64)
         offsets = np.asarray(arrays["word_offsets"], dtype=np.int64)
-        matrices = np.ascontiguousarray(arrays["matrices"], dtype=complex)
         expected = _EXPECTED_ORDER[n_qubits]
-        if len(offsets) != expected + 1 or matrices.shape[0] != expected:
+        if len(offsets) != expected + 1:
             raise ValidationError(
                 f"group arrays describe {len(offsets) - 1} elements, expected {expected}"
+            )
+        if "matrices" in arrays:
+            matrices = np.ascontiguousarray(arrays["matrices"], dtype=complex)
+        else:
+            matrices = _matrices_from_words(n_qubits, arrays["words"], offsets)
+        if matrices.shape[0] != expected:
+            raise ValidationError(
+                f"group arrays carry {matrices.shape[0]} matrices, expected {expected}"
             )
         elements: list[CliffordElement] = []
         for index in range(expected):
@@ -356,6 +367,92 @@ def _cx_reversed() -> np.ndarray:
     return np.array(
         [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
     )
+
+
+def _generator_list(n_qubits: int) -> list[tuple[tuple[str, tuple[int, ...]], np.ndarray]]:
+    """Generator gates ``((name, local_qubits), matrix)`` of the BFS.
+
+    Shared by the breadth-first enumeration and by the lazy
+    matrix-from-words derivation of :meth:`CliffordGroup.from_arrays`: both
+    must multiply the *exact same* float matrices for the derived element
+    matrices to be bit-identical to the eagerly enumerated ones.
+    """
+    h = hadamard()
+    s = s_gate()
+    if n_qubits == 1:
+        return [(("h", (0,)), h), (("s", (0,)), s)]
+    eye = np.eye(2, dtype=complex)
+    return [
+        (("h", (0,)), np.kron(h, eye)),
+        (("h", (1,)), np.kron(eye, h)),
+        (("s", (0,)), np.kron(s, eye)),
+        (("s", (1,)), np.kron(eye, s)),
+        (("cx", (0, 1)), cx_gate()),
+        (("cx", (1, 0)), _cx_reversed()),
+    ]
+
+
+def _matrices_from_words(
+    n_qubits: int, triples: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Re-derive every element matrix from the stored generator words.
+
+    Element matrices dominate the persisted two-qubit group file (11520 ×
+    4×4 complex ≈ 2.9 MB of the ~3 MB total), yet they are fully determined
+    by the words: the breadth-first search created every element as
+    ``generator_matrix @ parent_matrix`` where the parent's word is the
+    element's word minus its last gate.  Replaying exactly that product in
+    index order reproduces each matrix **bit-identically** (same operands,
+    same operation, same order), so the store can drop the matrices and
+    this function rebuilds them in a few tens of milliseconds on load.
+
+    Parameters
+    ----------
+    n_qubits : int
+        1 or 2.
+    triples : ndarray
+        ``(total_gates, 3)`` packed ``(gate_id, q0, q1)`` rows.
+    offsets : ndarray
+        ``(N+1,)`` word boundaries: element ``i`` owns rows
+        ``triples[offsets[i]:offsets[i+1]]``.
+
+    Returns
+    -------
+    ndarray
+        ``(N, d, d)`` complex element matrices in index order.
+    """
+    gens: dict[tuple[int, int, int], np.ndarray] = {}
+    for (name, qubits), matrix in _generator_list(n_qubits):
+        q0 = qubits[0]
+        q1 = qubits[1] if len(qubits) > 1 else -1
+        gens[(_GATE_IDS[name], q0, q1)] = matrix
+    packed = np.ascontiguousarray(triples, dtype=np.int8)
+    n_elements = len(offsets) - 1
+    dim = 2**n_qubits
+    matrices = np.empty((n_elements, dim, dim), dtype=complex)
+    matrices[0] = np.eye(dim, dtype=complex)
+    index_by_word: dict[bytes, int] = {packed[0:0].tobytes(): 0}
+    for index in range(1, n_elements):
+        start, stop = int(offsets[index]), int(offsets[index + 1])
+        if stop <= start:
+            raise ValidationError(
+                f"group arrays element {index} has an empty word but is not the identity"
+            )
+        prefix = packed[start : stop - 1].tobytes()
+        parent = index_by_word.get(prefix)
+        if parent is None:
+            raise ValidationError(
+                f"group arrays element {index} has no BFS parent for its word prefix"
+            )
+        gate_id, q0, q1 = (int(v) for v in packed[stop - 1])
+        generator = gens.get((gate_id, q0, q1))
+        if generator is None:
+            raise ValidationError(
+                f"group arrays element {index} uses unknown generator {(gate_id, q0, q1)}"
+            )
+        matrices[index] = generator @ matrices[parent]
+        index_by_word[packed[start:stop].tobytes()] = index
+    return matrices
 
 
 #: Process-wide group cache (one entry per qubit count).

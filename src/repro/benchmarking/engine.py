@@ -26,6 +26,7 @@ backend's gate-channel cache when the device properties drift.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from functools import partial
 from typing import Sequence
@@ -49,7 +50,36 @@ __all__ = [
     "clifford_channel_table",
     "interleaved_gate_channel",
     "execute_sequences_with_channels",
+    "used_element_indices",
 ]
+
+
+def used_element_indices(sequences) -> set[int]:
+    """Distinct group-element indices a sequence workload touches.
+
+    Includes every sampled Clifford index and every recovery index — the
+    exact set of channels the executor composes.  The session planner uses
+    this to size one shared channel-table build covering the *union* of
+    several experiments' workloads, so per-experiment flushes afterwards
+    have nothing left to persist.
+
+    Parameters
+    ----------
+    sequences : list of RBSequence
+        Sequences with element indices (and, usually, recovery indices)
+        populated.
+
+    Returns
+    -------
+    set of int
+        Group-element indices used by the workload.
+    """
+    used: set[int] = set()
+    for sequence in sequences:
+        used.update(int(i) for i in sequence.clifford_indices)
+        if sequence.recovery_index is not None:
+            used.add(int(sequence.recovery_index))
+    return used
 
 
 class CliffordChannelTable:
@@ -95,13 +125,19 @@ class CliffordChannelTable:
         self._channels: dict[int, np.ndarray] = {}
         #: Pending (built this session, not yet flushed) element indices.
         self._dirty: set[int] = set()
-        self._stored_ids: np.ndarray | None = None
-        self._stored: np.ndarray | None = None
+        #: Serializes *builders* (channel construction, flush): the session
+        #: executes experiments on threads over one shared table, and an
+        #: execution-time ``ensure`` must not race a concurrent prep
+        #: extending the table.  The read path stays lock-free.
+        self._build_lock = threading.RLock()
+        #: Current on-disk generation as one ``(ids, channels)`` tuple.
+        #: Held in a single attribute so a :meth:`flush` swapping in a new
+        #: generation is atomic to concurrent readers (ids and channels can
+        #: never be observed mismatched).
+        self._stored_pair: tuple[np.ndarray, np.ndarray] | None = None
         if store is not None:
             self.store_key = store.channel_table_key(backend, self.physical_qubits, group)
-            loaded = store.load_channel_table(self.store_key)
-            if loaded is not None:
-                self._stored_ids, self._stored = loaded
+            self._stored_pair = store.load_channel_table(self.store_key)
 
     def channel(self, element: CliffordElement) -> np.ndarray:
         """Superoperator channel of a Clifford element (cached)."""
@@ -109,20 +145,35 @@ class CliffordChannelTable:
 
     def _stored_channel(self, index: int) -> np.ndarray | None:
         """The persisted channel of an element, or None when not on disk."""
-        if self._stored_ids is None or len(self._stored_ids) == 0:
+        pair = self._stored_pair
+        if pair is None or len(pair[0]) == 0:
             return None
-        pos = int(np.searchsorted(self._stored_ids, index))
-        if pos >= len(self._stored_ids) or self._stored_ids[pos] != index:
+        ids, channels = pair
+        pos = int(np.searchsorted(ids, index))
+        if pos >= len(ids) or ids[pos] != index:
             return None
-        return self._stored[pos]
+        return channels[pos]
 
     def channel_by_index(self, index: int) -> np.ndarray:
-        """Channel of the element at a group index (mmap, cache, or build)."""
+        """Channel of the element at a group index (mmap, cache, or build).
+
+        The hit paths (memory map, in-memory dict) are lock-free; a miss
+        takes the table's build lock, re-checks, and builds — so
+        concurrent threads never construct (or record) an element twice.
+        """
         stored = self._stored_channel(index)
         if stored is not None:
             return stored
         channel = self._channels.get(index)
-        if channel is None:
+        if channel is not None:
+            return channel
+        with self._build_lock:
+            stored = self._stored_channel(index)  # a racing flush published it
+            if stored is not None:
+                return stored
+            channel = self._channels.get(index)
+            if channel is not None:
+                return channel
             element = self.group.element(index)
             circuit = QuantumCircuit(
                 max(self.physical_qubits) + 1, 0, name=f"clifford_{index}"
@@ -138,17 +189,23 @@ class CliffordChannelTable:
             )
             self._channels[index] = channel
             self._dirty.add(index)
-        return channel
+            return channel
 
     def materialize(self, indices) -> dict[int, np.ndarray]:
         """Channels for a set of element indices as a plain (picklable) dict."""
         return {int(i): np.asarray(self.channel_by_index(int(i))) for i in set(indices)}
 
     def ensure(self, indices) -> None:
-        """Build (and, with a store, persist) the channels of ``indices``."""
-        for index in set(int(i) for i in indices):
-            self.channel_by_index(index)
-        self.flush()
+        """Build (and, with a store, persist) the channels of ``indices``.
+
+        Thread-safe: the build-and-flush runs under the table's build
+        lock, so concurrent ``ensure`` calls (session prep extending the
+        table while another spec executes) serialize instead of racing.
+        """
+        with self._build_lock:
+            for index in set(int(i) for i in indices):
+                self.channel_by_index(index)
+            self.flush()
 
     def flush(self) -> None:
         """Merge channels built this session into the persistent store.
@@ -157,24 +214,34 @@ class CliffordChannelTable:
         table re-opens the merged on-disk generation, so subsequent reads —
         and worker processes via :meth:`handle` — see one consistent memory
         map.
+
+        The post-flush state swap is ordered for concurrent readers (the
+        session executes experiments on threads): the merged generation is
+        published to :attr:`_stored_pair` *before* the in-memory dict is
+        replaced, and both are whole-attribute assignments — a reader
+        always finds a channel in at least one of the two places, and
+        never sees a mismatched (ids, channels) pair.  Writers
+        (``ensure``/``flush``/lazy builds) serialize on the table's own
+        build lock.
         """
-        if self.store is None or not self._dirty:
-            return
-        fresh = {index: self._channels[index] for index in self._dirty}
-        self.store.save_channel_table(
-            self.store_key,
-            fresh,
-            metadata={
-                "backend": self.backend.name,
-                "physical_qubits": list(self.physical_qubits),
-                "n_qubits": self.group.n_qubits,
-            },
-        )
-        loaded = self.store.load_channel_table(self.store_key)
-        if loaded is not None:
-            self._stored_ids, self._stored = loaded
-            self._channels.clear()
-        self._dirty.clear()
+        with self._build_lock:
+            if self.store is None or not self._dirty:
+                return
+            fresh = {index: self._channels[index] for index in self._dirty}
+            self.store.save_channel_table(
+                self.store_key,
+                fresh,
+                metadata={
+                    "backend": self.backend.name,
+                    "physical_qubits": list(self.physical_qubits),
+                    "n_qubits": self.group.n_qubits,
+                },
+            )
+            loaded = self.store.load_channel_table(self.store_key)
+            if loaded is not None:
+                self._stored_pair = loaded
+                self._channels = {}
+            self._dirty = set()
 
     def handle(self) -> ChannelTableHandle | None:
         """Picklable handle to the current on-disk generation (or None)."""
@@ -184,7 +251,8 @@ class CliffordChannelTable:
 
     def __len__(self) -> int:
         """Number of channels reachable without building (memory + disk)."""
-        stored = 0 if self._stored_ids is None else len(self._stored_ids)
+        pair = self._stored_pair
+        stored = 0 if pair is None else len(pair[0])
         return len(self._channels) + stored
 
 

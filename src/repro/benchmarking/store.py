@@ -25,9 +25,18 @@ the newest generation of each key.
 
 Writers are crash- and race-safe by construction: array files are written
 under unique temporary names and published by an atomic ``os.replace`` of
-the small JSON manifest that names the current generation.  Concurrent
-writers of the same key merge with last-writer-wins on the manifest, and
-readers holding an older memory map keep a valid (POSIX) file handle.
+the small JSON manifest that names the current generation.  Writers of the
+same key additionally serialize on a cross-process advisory lock
+(:class:`~repro.utils.locks.FileLock`), so racing cold workers merge into
+one generation instead of publishing last-writer-wins overwrites — a
+writer that finds every one of its elements already on disk skips the
+write entirely.  Readers never take the lock: they keep relying on the
+atomic-rename protocol, and one holding an older memory map keeps a valid
+(POSIX) file handle.  Per-instance :attr:`CliffordChannelStore.stats`
+counters (``table_writes``, ``table_write_skips``, ``elements_written``,
+``group_writes``) expose exactly how much work a session's writers did —
+the session planner's tests assert shared tables are built exactly once
+through them.
 
 The user-facing knob is ``store="auto" | path | None`` (see
 :func:`resolve_store`), accepted by the RB/IRB experiments, the execution
@@ -47,10 +56,12 @@ from pathlib import Path
 
 import numpy as np
 
+from ..utils.locks import FileLock
 from ..utils.validation import ValidationError
 
 __all__ = [
     "STORE_FORMAT_VERSION",
+    "GROUP_FORMAT_VERSION",
     "CliffordChannelStore",
     "ChannelTableHandle",
     "default_store_root",
@@ -60,6 +71,14 @@ __all__ = [
 #: Bump to invalidate every on-disk entry after an incompatible change to
 #: the channel pipeline or the stored layouts.
 STORE_FORMAT_VERSION = 1
+
+#: Versions the group-enumeration files independently of the channel
+#: tables (which key on :data:`STORE_FORMAT_VERSION`), so a change to the
+#: group payload never invalidates channel entries.  v2: slim payload —
+#: generator words + tableaux only; element matrices are re-derived
+#: bit-identically from the words on load.  Readers of the v1 layout
+#: (with embedded matrices) keep their own ``_v1`` files untouched.
+GROUP_FORMAT_VERSION = 2
 
 #: Process-local cache of opened memory-mapped tables, keyed by
 #: ``(root, key, ids_file)`` so a merged (renamed) generation is re-opened.
@@ -203,9 +222,26 @@ class CliffordChannelStore:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        #: Per-instance write counters: ``table_writes`` (array generations
+        #: published), ``table_write_skips`` (saves that found every element
+        #: already on disk under the writer lock and published nothing),
+        #: ``elements_written`` (channels newly added to disk) and
+        #: ``group_writes`` (group enumerations persisted).  Purely
+        #: observational — used by tests and the session planner benchmarks
+        #: to prove shared preparation happens exactly once.
+        self.stats: dict[str, int] = {
+            "table_writes": 0,
+            "table_write_skips": 0,
+            "elements_written": 0,
+            "group_writes": 0,
+        }
 
     def __repr__(self) -> str:
         return f"CliffordChannelStore(root={str(self.root)!r})"
+
+    def _lock(self, name: str) -> FileLock:
+        """Advisory cross-process lock scoped to one store resource."""
+        return FileLock(self.root / "locks" / f"{name}.lock")
 
     # ------------------------------------------------------------------ #
     # keys
@@ -314,11 +350,15 @@ class CliffordChannelStore:
     ) -> ChannelTableHandle:
         """Persist (and merge) per-element channels under a key.
 
-        Existing entries for the key are merged with the new ones (new
-        values win on overlap — they were produced by the same content key,
-        so they are bit-identical anyway), a fresh array generation is
-        written under unique names, and the manifest is atomically replaced
-        to point at it.
+        Writers of the same key serialize on a cross-process advisory lock,
+        then re-read the current generation *under the lock*: entries that
+        are already on disk are dropped from the write set (they were
+        produced by the same content key, so they are bit-identical), and a
+        save whose every element is already persisted publishes nothing at
+        all — racing cold workers converge on one generation instead of
+        overwriting each other with last-writer-wins merges.  When new
+        elements remain, a fresh merged generation is written under unique
+        names and the manifest is atomically replaced to point at it.
 
         Parameters
         ----------
@@ -333,38 +373,57 @@ class CliffordChannelStore:
         Returns
         -------
         ChannelTableHandle
-            Handle to the newly written generation.
+            Handle to the current on-disk generation (freshly written, or
+            the pre-existing one when nothing new needed persisting).
         """
         if not channels:
             raise ValidationError("refusing to persist an empty channel table")
-        merged: dict[int, np.ndarray] = {}
-        existing = self.load_channel_table(key)
-        if existing is not None:
-            old_ids, old_channels = existing
-            for pos, element_id in enumerate(old_ids):
-                merged[int(element_id)] = np.asarray(old_channels[pos])
-        for element_id, channel in channels.items():
-            merged[int(element_id)] = np.asarray(channel, dtype=complex)
-        ids = np.array(sorted(merged), dtype=np.int64)
-        stacked = np.stack([merged[int(i)] for i in ids]).astype(complex)
+        with self._lock(key):
+            merged: dict[int, np.ndarray] = {}
+            existing = self.load_channel_table(key)
+            if existing is not None:
+                old_ids, old_channels = existing
+                for pos, element_id in enumerate(old_ids):
+                    merged[int(element_id)] = np.asarray(old_channels[pos])
+            fresh = 0
+            for element_id, channel in channels.items():
+                if int(element_id) not in merged:
+                    fresh += 1
+                merged[int(element_id)] = np.asarray(channel, dtype=complex)
+            if fresh == 0:
+                # every element is already persisted (a racing writer beat
+                # us under the lock, or the caller re-flushed): nothing to do
+                handle = self.handle(key)
+                if handle is not None:
+                    self.stats["table_write_skips"] += 1
+                    return handle
+                # generation files vanished out-of-band (manual cleanup):
+                # fall through and rewrite the full merged table
+                fresh = len(merged)
+            ids = np.array(sorted(merged), dtype=np.int64)
+            stacked = np.stack([merged[int(i)] for i in ids]).astype(complex)
 
-        directory = self._channels_dir()
-        directory.mkdir(parents=True, exist_ok=True)
-        token = uuid.uuid4().hex[:8]
-        base = f"{key}-{len(ids)}-{token}"
-        ids_file = f"{base}.ids.npy"
-        channels_file = f"{base}.ch.npy"
-        _atomic_save_array(directory / ids_file, ids)
-        _atomic_save_array(directory / channels_file, stacked)
-        manifest = {
-            "version": STORE_FORMAT_VERSION,
-            "key": key,
-            "ids_file": ids_file,
-            "channels_file": channels_file,
-            "n_entries": int(len(ids)),
-            "metadata": metadata or {},
-        }
-        _atomic_write_text(self._manifest_path(key), json.dumps(manifest, indent=2, sort_keys=True))
+            directory = self._channels_dir()
+            directory.mkdir(parents=True, exist_ok=True)
+            token = uuid.uuid4().hex[:8]
+            base = f"{key}-{len(ids)}-{token}"
+            ids_file = f"{base}.ids.npy"
+            channels_file = f"{base}.ch.npy"
+            _atomic_save_array(directory / ids_file, ids)
+            _atomic_save_array(directory / channels_file, stacked)
+            manifest = {
+                "version": STORE_FORMAT_VERSION,
+                "key": key,
+                "ids_file": ids_file,
+                "channels_file": channels_file,
+                "n_entries": int(len(ids)),
+                "metadata": metadata or {},
+            }
+            _atomic_write_text(
+                self._manifest_path(key), json.dumps(manifest, indent=2, sort_keys=True)
+            )
+            self.stats["table_writes"] += 1
+            self.stats["elements_written"] += fresh
         return ChannelTableHandle(
             root=str(self.root), key=key, ids_file=ids_file, channels_file=channels_file
         )
@@ -373,7 +432,7 @@ class CliffordChannelStore:
     # group tables
     # ------------------------------------------------------------------ #
     def _group_path(self, n_qubits: int) -> Path:
-        return self.root / "groups" / f"clifford_{n_qubits}q_v{STORE_FORMAT_VERSION}.npz"
+        return self.root / "groups" / f"clifford_{n_qubits}q_v{GROUP_FORMAT_VERSION}.npz"
 
     def load_group_arrays(self, n_qubits: int) -> dict[str, np.ndarray] | None:
         """Load a persisted Clifford-group enumeration, or None when absent."""
@@ -393,14 +452,21 @@ class CliffordChannelStore:
     def ensure_group_saved(self, group) -> bool:
         """Persist a group enumeration unless it is already on disk.
 
-        Returns True when a new file was written.
+        The check-then-write races with other cold processes, so it runs
+        under the group's cross-process advisory lock: exactly one writer
+        serializes the ~3 s two-qubit enumeration to disk, the rest observe
+        the finished file.  Returns True when a new file was written.
         """
         path = self._group_path(group.n_qubits)
         if path.exists():
             return False
-        path.parent.mkdir(parents=True, exist_ok=True)
-        arrays = group.to_arrays()
-        _atomic_write(path, lambda fh: np.savez(fh, **arrays))
+        with self._lock(path.stem):
+            if path.exists():  # a racing writer finished while we waited
+                return False
+            path.parent.mkdir(parents=True, exist_ok=True)
+            arrays = group.to_arrays()
+            _atomic_write(path, lambda fh: np.savez(fh, **arrays))
+            self.stats["group_writes"] += 1
         return True
 
     # ------------------------------------------------------------------ #

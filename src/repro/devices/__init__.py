@@ -30,6 +30,7 @@ from .library import (
     fake_boeblingen,
     fake_rome,
     get_device,
+    canonical_device_name,
     DEVICE_REGISTRY,
 )
 
@@ -52,5 +53,6 @@ __all__ = [
     "fake_boeblingen",
     "fake_rome",
     "get_device",
+    "canonical_device_name",
     "DEVICE_REGISTRY",
 ]

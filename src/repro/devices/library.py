@@ -32,6 +32,7 @@ __all__ = [
     "fake_boeblingen",
     "fake_rome",
     "get_device",
+    "canonical_device_name",
     "DEVICE_REGISTRY",
 ]
 
@@ -270,3 +271,20 @@ def get_device(name: str) -> BackendProperties:
             f"unknown device {name!r}; available: {sorted(set(DEVICE_REGISTRY))}"
         )
     return DEVICE_REGISTRY[key]()
+
+
+def canonical_device_name(name: str) -> str:
+    """Canonical short name of a registered device (aliases collapse).
+
+    Every alias of one device maps to the same canonical key (e.g.
+    ``"ibmq_montreal"``, ``"fake_montreal"`` and ``"Montreal"`` all return
+    ``"montreal"``), derived from the registry itself so new aliases never
+    need a second canonicalization rule.  The session planner keys shared
+    backends and channel tables on this name.
+    """
+    key = name.strip().lower()
+    if key not in DEVICE_REGISTRY:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(set(DEVICE_REGISTRY))}"
+        )
+    return DEVICE_REGISTRY[key].__name__.removeprefix("fake_")

@@ -24,7 +24,7 @@ from .gates import (
     run_gate_experiment,
     gate_histogram,
 )
-from .table1 import Table1Row, generate_table1, format_table1, TABLE1_PAPER_VALUES
+from .table1 import Table1Row, generate_table1, format_table1, table1_row_specs, TABLE1_PAPER_VALUES
 from .drift import DriftStudyResult, run_drift_study
 from .optimizers import OptimizerComparisonResult, compare_optimizers
 
@@ -38,6 +38,7 @@ __all__ = [
     "Table1Row",
     "generate_table1",
     "format_table1",
+    "table1_row_specs",
     "TABLE1_PAPER_VALUES",
     "DriftStudyResult",
     "run_drift_study",

@@ -1,9 +1,28 @@
-"""Data generators for every figure of the paper.
+"""Data generators for every figure of the paper, as declarative specs.
 
-Each ``figN_*`` function returns a plain dictionary of NumPy arrays / floats
-containing exactly the series plotted in the corresponding figure, so the
-benchmark harness (and any plotting script) can regenerate it.  No plotting
-library is required — the benches print the series.
+Each figure is now described by a **spec constructor** (``figN_spec`` /
+``figN_specs``) returning frozen, serializable
+:mod:`repro.session.specs` objects, and executed through a
+:class:`~repro.session.session.Session` — so submitting several figures
+together shares their preparation (device backends, GRAPE pulses, Clifford
+channel tables) exactly once.  The original ``figN_*`` driver functions are
+preserved as thin wrappers with their historical signatures and
+**bit-identical** return dictionaries; they are deprecated in favour of
+building specs and running them through a session:
+
+.. code-block:: python
+
+    from repro.session import Session
+    from repro.experiments.figures import fig3_specs, fig4_specs
+
+    with Session(store="auto") as session:
+        specs3, specs4 = fig3_specs(), fig4_specs()
+        results = session.run_all(
+            [specs3["custom_irb"], specs3["default_irb"],
+             specs4["custom_irb"], specs4["default_irb"]]
+        )  # one montreal backend, one 1q channel table, shared planning
+
+Figure inventory:
 
 * Fig. 1 — initial vs optimized control amplitudes for the X gate,
 * Fig. 2 — the custom X pulse schedule on the drive channel D0 and the
@@ -18,26 +37,25 @@ library is required — the benches print the series.
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
 
-import numpy as np
-
-from .gates import (
-    GateExperimentConfig,
-    gate_histogram,
-    optimize_gate_pulse,
-    pulse_schedule_from_result,
-)
-from ..backend.backend import PulseBackend
-from ..benchmarking.irb import InterleavedRBExperiment
+from .gates import gate_histogram
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gate import Gate
 from ..circuits.transpiler import transpile
-from ..devices.library import fake_boeblingen, fake_montreal, fake_rome, fake_toronto
 from ..pulse.channels import ControlChannel, DriveChannel
 from ..pulse.calibrations import control_channel_index
+from ..session.session import Session
+from ..session.specs import ExperimentSpec, GRAPESpec, IRBSpec
 
 __all__ = [
+    "fig1_spec",
+    "fig2_spec",
+    "fig3_specs",
+    "fig4_specs",
+    "fig5_specs",
+    "fig6_specs",
+    "fig7_spec",
+    "fig8_specs",
     "fig1_x_pulses",
     "fig2_x_schedule",
     "fig3_x_irb",
@@ -49,25 +67,141 @@ __all__ = [
 ]
 
 
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated: build specs with {new}() and run them through "
+        "repro.session.Session (see docs/sessions.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# spec constructors
+# --------------------------------------------------------------------------- #
+def fig1_spec(seed: int = 2022) -> GRAPESpec:
+    """Fig. 1 spec: the decoherence-aware 105 ns X-gate optimization."""
+    return GRAPESpec(
+        device="montreal", gate="x", qubits=(0,), duration_ns=105.0, n_ts=12,
+        include_decoherence=True, seed=seed,
+    )
+
+
+def fig2_spec(seed: int = 2022) -> GRAPESpec:
+    """Fig. 2 spec: same optimization as Fig. 1 (the schedule view of it)."""
+    return fig1_spec(seed)
+
+
+def _single_qubit_irb_specs(
+    gate: str,
+    device: str,
+    duration_ns: float,
+    n_ts: int,
+    include_decoherence: bool,
+    seed: int,
+    fast: bool,
+    optimizer_levels: int = 3,
+) -> dict[str, ExperimentSpec]:
+    """Shared constructor of the Figs. 3–5 spec triples."""
+    lengths = (1, 16, 48, 96, 160) if fast else (1, 16, 48, 96, 160, 240)
+    grape = GRAPESpec(
+        device=device, gate=gate, qubits=(0,), duration_ns=duration_ns, n_ts=n_ts,
+        include_decoherence=include_decoherence, optimizer_levels=optimizer_levels,
+        seed=seed,
+    )
+    common = dict(
+        device=device, gate=gate, qubits=(0,), lengths=lengths,
+        n_seeds=4 if fast else 8, shots=400 if fast else 1200, seed=seed,
+    )
+    return {
+        "grape": grape,
+        "custom_irb": IRBSpec(calibration=grape, **common),
+        "default_irb": IRBSpec(calibration=None, **common),
+    }
+
+
+def fig3_specs(seed: int = 2022, fast: bool = True) -> dict[str, ExperimentSpec]:
+    """Fig. 3 specs: custom (105 ns) vs default X IRB on montreal."""
+    return _single_qubit_irb_specs("x", "montreal", 105.0, 12, True, seed, fast)
+
+
+def fig4_specs(seed: int = 2022, fast: bool = True) -> dict[str, ExperimentSpec]:
+    """Fig. 4 specs: custom (162 ns) vs default √X IRB on montreal.
+
+    As in the paper, the √X optimization neglects decoherence.
+    """
+    return _single_qubit_irb_specs("sx", "montreal", 162.0, 14, False, seed, fast)
+
+
+def fig5_specs(seed: int = 2022, fast: bool = True) -> dict[str, ExperimentSpec]:
+    """Fig. 5 specs: custom (267 ns) vs default H IRB on toronto.
+
+    As in the paper, this long-duration H pulse is optimized on the bare
+    two-level Pauli-control model (``optimizer_levels=2``); the resulting
+    pulse leaks on the three-level transmon and ends up *worse* than the
+    default (transpiled) H, reproducing the paper's anomalous Fig. 5 row.
+    """
+    return _single_qubit_irb_specs(
+        "h", "toronto", 267.0, 16, False, seed, fast, optimizer_levels=2
+    )
+
+
+def fig6_specs(seed: int = 2022) -> dict[str, GRAPESpec]:
+    """Fig. 6 specs: the early SINE-pulse CX optimizations per device."""
+    return {
+        device: GRAPESpec(
+            device=device, gate="cx", qubits=(0, 1), duration_ns=640.0, n_ts=16,
+            include_decoherence=False, init_pulse_type="SINE", init_pulse_scale=0.15,
+            max_iter=150, seed=seed,
+        )
+        for device in ("boeblingen", "rome")
+    }
+
+
+def fig7_spec(seed: int = 2022) -> GRAPESpec:
+    """Fig. 7 spec: the 1193 ns GaussianSquare-seeded CX optimization."""
+    return GRAPESpec(
+        device="montreal", gate="cx", qubits=(0, 1), duration_ns=1193.0, n_ts=20,
+        include_decoherence=False, init_pulse_type="GAUSSIAN_SQUARE",
+        init_pulse_scale=0.1, max_iter=300, seed=seed,
+    )
+
+
+def fig8_specs(seed: int = 2022, fast: bool = True) -> dict[str, ExperimentSpec]:
+    """Fig. 8 specs: custom (1193 ns) vs default CX IRB on montreal."""
+    grape = fig7_spec(seed)
+    common = dict(
+        device="montreal", gate="cx", qubits=(0, 1),
+        lengths=(1, 2, 4, 8, 12) if fast else (1, 2, 4, 8, 16, 24),
+        n_seeds=3 if fast else 6, shots=300 if fast else 800, seed=seed,
+    )
+    return {
+        "grape": grape,
+        "custom_irb": IRBSpec(calibration=grape, **common),
+        "default_irb": IRBSpec(calibration=None, **common),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Fig. 1 — pulseoptim output for the X gate
 # --------------------------------------------------------------------------- #
 def fig1_x_pulses(seed: int = 2022) -> dict:
-    """Initial and optimized control amplitudes for the X gate (two controls)."""
-    props = fake_montreal()
-    config = GateExperimentConfig(
-        gate="x", qubits=(0,), duration_ns=105.0, n_ts=12, include_decoherence=True, seed=seed
-    )
-    result = optimize_gate_pulse(props, config)
-    times = np.arange(result.n_ts) * result.dt
+    """Initial and optimized control amplitudes for the X gate (two controls).
+
+    .. deprecated:: use :func:`fig1_spec` with a session instead.
+    """
+    _warn_deprecated("fig1_x_pulses", "fig1_spec")
+    spec = fig1_spec(seed)
+    with Session(store=None, num_workers=1, seed=seed) as session:
+        result = session.run(spec)
     return {
-        "times_ns": times,
-        "initial_x": result.initial_amps[0],
-        "initial_y": result.initial_amps[1],
-        "optimized_x": result.final_amps[0],
-        "optimized_y": result.final_amps[1],
-        "fid_err": result.fid_err,
-        "n_iter": result.n_iter,
+        "times_ns": result["times_ns"],
+        "initial_x": result["initial_amps"][0],
+        "initial_y": result["initial_amps"][1],
+        "optimized_x": result["final_amps"][0],
+        "optimized_y": result["final_amps"][1],
+        "fid_err": result["fid_err"],
+        "n_iter": result["n_iter"],
     }
 
 
@@ -75,13 +209,15 @@ def fig1_x_pulses(seed: int = 2022) -> dict:
 # Fig. 2 — custom X schedule + transpile confirmation
 # --------------------------------------------------------------------------- #
 def fig2_x_schedule(seed: int = 2022) -> dict:
-    """The custom X pulse on drive channel D0 and the transpiled circuit ops."""
-    props = fake_montreal()
-    config = GateExperimentConfig(
-        gate="x", qubits=(0,), duration_ns=105.0, n_ts=12, include_decoherence=True, seed=seed
-    )
-    optimization = optimize_gate_pulse(props, config)
-    schedule = pulse_schedule_from_result(props, config, optimization)
+    """The custom X pulse on drive channel D0 and the transpiled circuit ops.
+
+    .. deprecated:: use :func:`fig2_spec` with a session instead.
+    """
+    _warn_deprecated("fig2_x_schedule", "fig2_spec")
+    spec = fig2_spec(seed)
+    with Session(store=None, num_workers=1, seed=seed) as session:
+        schedule = session.schedule_for(spec)
+        props = session.backend_for(spec.device).properties
     samples = schedule.channel_samples(DriveChannel(0))
     # transpile confirmation: the x gate with a custom calibration survives as-is
     circuit = QuantumCircuit(1)
@@ -102,98 +238,81 @@ def fig2_x_schedule(seed: int = 2022) -> dict:
 # --------------------------------------------------------------------------- #
 # Figs. 3-5 — single-qubit IRB + histogram figures
 # --------------------------------------------------------------------------- #
-def _single_qubit_irb_figure(
-    gate: str,
-    device_props,
-    duration_ns: float,
-    n_ts: int,
-    include_decoherence: bool,
-    lengths: Sequence[int],
-    n_seeds: int,
-    shots: int,
-    histogram_shots: int,
+def _irb_figure_from_specs(
+    specs: dict[str, ExperimentSpec],
     seed: int,
-    optimizer_levels: int = 3,
-    num_workers: int = 1,
-    store=None,
+    num_workers: int,
+    store,
+    histogram_shots: int | None,
+    full_curve_keys: bool,
 ) -> dict:
-    backend = PulseBackend(device_props, calibrated_qubits=[0, 1], seed=seed, channel_store=store)
-    config = GateExperimentConfig(
-        gate=gate,
-        qubits=(0,),
-        duration_ns=duration_ns,
-        n_ts=n_ts,
-        include_decoherence=include_decoherence,
-        optimizer_levels=optimizer_levels,
-        seed=seed,
-    )
-    optimization = optimize_gate_pulse(device_props, config)
-    schedule = pulse_schedule_from_result(device_props, config, optimization)
-    out: dict = {"optimization_fid_err": optimization.fid_err, "duration_ns": duration_ns}
-    for label, calibration in (("custom", schedule), ("default", None)):
-        experiment = InterleavedRBExperiment(
-            backend,
-            Gate.standard(gate),
-            [0],
-            lengths=lengths,
-            n_seeds=n_seeds,
-            shots=shots,
-            seed=seed,
-            custom_calibration=calibration,
-            num_workers=num_workers,
-        )
-        irb = experiment.run()
-        out[f"{label}_lengths"] = irb.interleaved.lengths
-        out[f"{label}_survival"] = irb.interleaved.survival_mean
-        out[f"{label}_survival_std"] = irb.interleaved.survival_std
-        out[f"{label}_reference_survival"] = irb.reference.survival_mean
-        out[f"{label}_error_rate"] = irb.gate_error
-        out[f"{label}_error_rate_std"] = irb.gate_error_std
-        out[f"{label}_alpha"] = irb.interleaved.alpha
-        out[f"{label}_alpha_ref"] = irb.reference.alpha
-    histogram = gate_histogram(backend, gate, (0,), schedule=schedule, shots=histogram_shots, seed=seed)
-    out["histogram_counts"] = histogram.get_counts()
-    out["histogram_probabilities"] = histogram.probabilities()
+    """Run a figure's spec triple through one session; legacy dict layout."""
+    grape = specs["grape"]
+    with Session(store=store, num_workers=num_workers, seed=seed) as session:
+        custom, default = session.run_all([specs["custom_irb"], specs["default_irb"]])
+        optimization = session.optimization_for(grape)
+        out: dict = {
+            "optimization_fid_err": optimization.fid_err,
+        }
+        if full_curve_keys:
+            out["duration_ns"] = grape.duration_ns
+        for label, result in (("custom", custom), ("default", default)):
+            out[f"{label}_lengths"] = result["interleaved_lengths"]
+            out[f"{label}_survival"] = result["interleaved_survival_mean"]
+            out[f"{label}_reference_survival"] = result["reference_survival_mean"]
+            out[f"{label}_error_rate"] = result["gate_error"]
+            out[f"{label}_error_rate_std"] = result["gate_error_std"]
+            if full_curve_keys:
+                out[f"{label}_survival_std"] = result["interleaved_survival_std"]
+                out[f"{label}_alpha"] = result["interleaved_alpha"]
+                out[f"{label}_alpha_ref"] = result["reference_alpha"]
+        if histogram_shots:
+            histogram = gate_histogram(
+                session.backend_for(grape.device),
+                grape.gate,
+                grape.qubits,
+                schedule=session.schedule_for(grape),
+                shots=histogram_shots,
+                seed=seed,
+            )
+            out["histogram_counts"] = histogram.get_counts()
+            out["histogram_probabilities"] = histogram.probabilities()
     return out
 
 
 def fig3_x_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
-    """Fig. 3: IRB for the custom (105 ns) vs default X gate + histogram."""
-    lengths = (1, 16, 48, 96, 160) if fast else (1, 16, 48, 96, 160, 240)
-    return _single_qubit_irb_figure(
-        "x", fake_montreal(), 105.0, 12, True, lengths,
-        n_seeds=4 if fast else 8, shots=400 if fast else 1200,
-        histogram_shots=4000, seed=seed, num_workers=num_workers, store=store,
+    """Fig. 3: IRB for the custom (105 ns) vs default X gate + histogram.
+
+    .. deprecated:: use :func:`fig3_specs` with a session instead.
+    """
+    _warn_deprecated("fig3_x_irb", "fig3_specs")
+    return _irb_figure_from_specs(
+        fig3_specs(seed, fast), seed, num_workers, store,
+        histogram_shots=4000, full_curve_keys=True,
     )
 
 
 def fig4_sx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
     """Fig. 4: IRB for the custom (162 ns) vs default √X gate + histogram.
 
-    As in the paper, the √X optimization neglects decoherence.
+    .. deprecated:: use :func:`fig4_specs` with a session instead.
     """
-    lengths = (1, 16, 48, 96, 160) if fast else (1, 16, 48, 96, 160, 240)
-    return _single_qubit_irb_figure(
-        "sx", fake_montreal(), 162.0, 14, False, lengths,
-        n_seeds=4 if fast else 8, shots=400 if fast else 1200,
-        histogram_shots=4000, seed=seed, num_workers=num_workers, store=store,
+    _warn_deprecated("fig4_sx_irb", "fig4_specs")
+    return _irb_figure_from_specs(
+        fig4_specs(seed, fast), seed, num_workers, store,
+        histogram_shots=4000, full_curve_keys=True,
     )
 
 
 def fig5_h_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
     """Fig. 5: IRB for the custom (267 ns) vs default H gate + histogram.
 
-    As in the paper, this long-duration H pulse is optimized on the bare
-    two-level Pauli-control model (``optimizer_levels=2``); the resulting
-    pulse leaks on the three-level transmon and ends up *worse* than the
-    default (transpiled) H, reproducing the paper's anomalous Fig. 5 row.
+    .. deprecated:: use :func:`fig5_specs` with a session instead.
     """
-    lengths = (1, 16, 48, 96, 160) if fast else (1, 16, 48, 96, 160, 240)
-    return _single_qubit_irb_figure(
-        "h", fake_toronto(), 267.0, 16, False, lengths,
-        n_seeds=4 if fast else 8, shots=400 if fast else 1200,
-        histogram_shots=4000, seed=seed, optimizer_levels=2,
-        num_workers=num_workers, store=store,
+    _warn_deprecated("fig5_h_irb", "fig5_specs")
+    return _irb_figure_from_specs(
+        fig5_specs(seed, fast), seed, num_workers, store,
+        histogram_shots=4000, full_curve_keys=True,
     )
 
 
@@ -206,32 +325,29 @@ def fig6_cx_sine_histograms(seed: int = 2022, shots: int = 4000) -> dict:
     The paper ran these early experiments on the retired ibmq_boeblingen and
     ibmq_rome devices, observed 79% / 87% |11⟩ probability with the optimized
     SINE pulses, and concluded they offered "little to none improvement".
+
+    .. deprecated:: use :func:`fig6_specs` with a session instead.
     """
+    _warn_deprecated("fig6_cx_sine_histograms", "fig6_specs")
     out: dict = {}
-    for device_name, props in (("boeblingen", fake_boeblingen()), ("rome", fake_rome())):
-        backend = PulseBackend(props, calibrated_qubits=[0, 1], seed=seed)
-        config = GateExperimentConfig(
-            gate="cx",
-            qubits=(0, 1),
-            duration_ns=640.0,
-            n_ts=16,
-            include_decoherence=False,
-            init_pulse_type="SINE",
-            init_pulse_scale=0.15,
-            max_iter=150,
-            seed=seed,
-        )
-        optimization = optimize_gate_pulse(props, config)
-        schedule = pulse_schedule_from_result(props, config, optimization)
-        custom = gate_histogram(backend, "cx", (0, 1), schedule=schedule, shots=shots, seed=seed)
-        default = gate_histogram(backend, "cx", (0, 1), schedule=None, shots=shots, seed=seed + 1)
-        out[device_name] = {
-            "custom_counts": custom.get_counts(),
-            "default_counts": default.get_counts(),
-            "custom_p11": custom.probability("11"),
-            "default_p11": default.probability("11"),
-            "optimization_fid_err": optimization.fid_err,
-        }
+    with Session(store=None, num_workers=1, seed=seed) as session:
+        for device_name, spec in fig6_specs(seed).items():
+            backend = session.backend_for(device_name)
+            schedule = session.schedule_for(spec)
+            optimization = session.optimization_for(spec)
+            custom = gate_histogram(
+                backend, "cx", (0, 1), schedule=schedule, shots=shots, seed=seed
+            )
+            default = gate_histogram(
+                backend, "cx", (0, 1), schedule=None, shots=shots, seed=seed + 1
+            )
+            out[device_name] = {
+                "custom_counts": custom.get_counts(),
+                "default_counts": default.get_counts(),
+                "custom_p11": custom.probability("11"),
+                "default_p11": default.probability("11"),
+                "optimization_fid_err": optimization.fid_err,
+            }
     return out
 
 
@@ -239,21 +355,16 @@ def fig6_cx_sine_histograms(seed: int = 2022, shots: int = 4000) -> dict:
 # Fig. 7 — custom CX schedule (GaussianSquare input) on D0/D1/U0
 # --------------------------------------------------------------------------- #
 def fig7_cx_schedule(seed: int = 2022) -> dict:
-    """Fig. 7: the optimized CX pulse samples on D0, D1 and U0 of montreal."""
-    props = fake_montreal()
-    config = GateExperimentConfig(
-        gate="cx",
-        qubits=(0, 1),
-        duration_ns=1193.0,
-        n_ts=20,
-        include_decoherence=False,
-        init_pulse_type="GAUSSIAN_SQUARE",
-        init_pulse_scale=0.1,
-        max_iter=300,
-        seed=seed,
-    )
-    optimization = optimize_gate_pulse(props, config)
-    schedule = pulse_schedule_from_result(props, config, optimization)
+    """Fig. 7: the optimized CX pulse samples on D0, D1 and U0 of montreal.
+
+    .. deprecated:: use :func:`fig7_spec` with a session instead.
+    """
+    _warn_deprecated("fig7_cx_schedule", "fig7_spec")
+    spec = fig7_spec(seed)
+    with Session(store=None, num_workers=1, seed=seed) as session:
+        schedule = session.schedule_for(spec)
+        optimization = session.optimization_for(spec)
+        props = session.backend_for(spec.device).properties
     u_index = control_channel_index(props, 0, 1)
     duration = schedule.duration
     return {
@@ -270,40 +381,12 @@ def fig7_cx_schedule(seed: int = 2022) -> dict:
 # Fig. 8 — CX IRB, custom vs default
 # --------------------------------------------------------------------------- #
 def fig8_cx_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=None) -> dict:
-    """Fig. 8: IRB decay for the custom (1193 ns) vs default CX on montreal."""
-    props = fake_montreal()
-    backend = PulseBackend(props, calibrated_qubits=[0, 1], seed=seed, channel_store=store)
-    config = GateExperimentConfig(
-        gate="cx",
-        qubits=(0, 1),
-        duration_ns=1193.0,
-        n_ts=20,
-        include_decoherence=False,
-        init_pulse_type="GAUSSIAN_SQUARE",
-        init_pulse_scale=0.1,
-        max_iter=300,
-        seed=seed,
+    """Fig. 8: IRB decay for the custom (1193 ns) vs default CX on montreal.
+
+    .. deprecated:: use :func:`fig8_specs` with a session instead.
+    """
+    _warn_deprecated("fig8_cx_irb", "fig8_specs")
+    return _irb_figure_from_specs(
+        fig8_specs(seed, fast), seed, num_workers, store,
+        histogram_shots=None, full_curve_keys=False,
     )
-    optimization = optimize_gate_pulse(props, config)
-    schedule = pulse_schedule_from_result(props, config, optimization)
-    lengths = (1, 2, 4, 8, 12) if fast else (1, 2, 4, 8, 16, 24)
-    out: dict = {"optimization_fid_err": optimization.fid_err}
-    for label, calibration in (("custom", schedule), ("default", None)):
-        experiment = InterleavedRBExperiment(
-            backend,
-            Gate.standard("cx"),
-            [0, 1],
-            lengths=lengths,
-            n_seeds=3 if fast else 6,
-            shots=300 if fast else 800,
-            seed=seed,
-            custom_calibration=calibration,
-            num_workers=num_workers,
-        )
-        irb = experiment.run()
-        out[f"{label}_lengths"] = irb.interleaved.lengths
-        out[f"{label}_survival"] = irb.interleaved.survival_mean
-        out[f"{label}_reference_survival"] = irb.reference.survival_mean
-        out[f"{label}_error_rate"] = irb.gate_error
-        out[f"{label}_error_rate_std"] = irb.gate_error_std
-    return out

@@ -9,6 +9,13 @@ print the side-by-side comparison.
 
 Device assignment follows the paper: X, √X and CX on ibmq_montreal, H on
 ibmq_toronto; the default single-qubit gate duration is 32 ns.
+
+The sweep is expressed as declarative specs (:func:`table1_row_specs`)
+executed through one :class:`~repro.session.session.Session`, so all
+montreal rows share a single backend, a single 1q Clifford channel table
+and — for rows nesting the same pulse — a single GRAPE optimization.  The
+results are bit-identical to the pre-session implementation (all
+randomness flows from the explicit seeds).
 """
 
 from __future__ import annotations
@@ -16,14 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
-from .gates import GateExperimentConfig, GateExperimentResult, run_gate_experiment
-from ..backend.backend import PulseBackend
-from ..devices.library import fake_montreal, fake_toronto
 from ..utils.validation import ValidationError
 
-__all__ = ["Table1Row", "TABLE1_PAPER_VALUES", "generate_table1", "format_table1"]
+__all__ = [
+    "Table1Row",
+    "TABLE1_PAPER_VALUES",
+    "table1_row_specs",
+    "generate_table1",
+    "format_table1",
+]
 
 #: Paper Table I: (gate, duration_ns) -> (custom error, default error, improvement)
 #: in units of 1e-4; ``None`` improvement marks the row the paper leaves blank.
@@ -87,33 +95,40 @@ class Table1Row:
         return TABLE1_PAPER_VALUES.get((self.gate, self.duration_ns))
 
 
-def _device_properties(name: str):
-    if name == "montreal":
-        return fake_montreal()
-    if name == "toronto":
-        return fake_toronto()
-    raise ValidationError(f"unknown Table I device {name!r}")
+def table1_row_specs(row: dict, fast: bool = True, seed: int = 2022) -> dict:
+    """Declarative specs of one Table I row.
 
+    Parameters
+    ----------
+    row:
+        An entry of :data:`TABLE1_ROWS` (``gate``, ``duration_ns``,
+        ``device``, ``n_ts``, ``include_decoherence``,
+        ``optimizer_levels``).
+    fast:
+        Reduced RB lengths / seeds / shots (as in :func:`generate_table1`).
+    seed:
+        Optimization and benchmarking seed.
 
-def _row_to_result(
-    spec: dict,
-    fast: bool,
-    seed: int,
-    backends: dict,
-) -> GateExperimentResult:
-    props = _device_properties(spec["device"])
-    key = spec["device"]
-    if key not in backends:
-        backends[key] = PulseBackend(props, calibrated_qubits=[0, 1], seed=seed)
-    backend = backends[key]
-    is_cx = spec["gate"] == "cx"
-    config = GateExperimentConfig(
-        gate=spec["gate"],
+    Returns
+    -------
+    dict
+        ``{"grape": GRAPESpec, "custom_irb": IRBSpec, "default_irb":
+        IRBSpec}`` — run them through a
+        :class:`~repro.session.session.Session`.
+    """
+    from ..session.specs import GRAPESpec, IRBSpec
+
+    if row["device"] not in ("montreal", "toronto"):
+        raise ValidationError(f"unknown Table I device {row['device']!r}")
+    is_cx = row["gate"] == "cx"
+    grape = GRAPESpec(
+        device=row["device"],
+        gate=row["gate"],
         qubits=(0, 1) if is_cx else (0,),
-        duration_ns=spec["duration_ns"],
-        n_ts=spec["n_ts"],
-        include_decoherence=spec["include_decoherence"],
-        optimizer_levels=spec.get("optimizer_levels", 3),
+        duration_ns=row["duration_ns"],
+        n_ts=row["n_ts"],
+        include_decoherence=row["include_decoherence"],
+        optimizer_levels=row.get("optimizer_levels", 3),
         init_pulse_type="GAUSSIAN_SQUARE" if is_cx else "DRAG",
         init_pulse_scale=0.1 if is_cx else 0.25,
         max_iter=120 if fast else 300,
@@ -127,24 +142,35 @@ def _row_to_result(
         lengths = (1, 16, 48, 96, 160) if fast else (1, 16, 48, 96, 160, 240)
         rb_seeds = 4 if fast else 8
         shots = 400 if fast else 1200
-    return run_gate_experiment(
-        props,
-        config,
-        backend=backend,
-        rb_lengths=lengths,
-        rb_seeds=rb_seeds,
+    common = dict(
+        device=row["device"],
+        gate=row["gate"],
+        qubits=(0, 1) if is_cx else (0,),
+        lengths=lengths,
+        n_seeds=rb_seeds,
         shots=shots,
-        run_histogram=False,
         seed=seed,
     )
+    return {
+        "grape": grape,
+        "custom_irb": IRBSpec(calibration=grape, **common),
+        "default_irb": IRBSpec(calibration=None, **common),
+    }
 
 
 def generate_table1(
     rows: Sequence[dict] | None = None,
     fast: bool = True,
     seed: int = 2022,
+    store=None,
+    num_workers: int = 1,
 ) -> list[Table1Row]:
-    """Run the Table I sweep and return the measured rows.
+    """Run the Table I sweep through one session; return the measured rows.
+
+    Every row becomes a spec triple (:func:`table1_row_specs`) and the
+    whole batch runs through a single
+    :class:`~repro.session.session.Session`, so rows on the same device
+    share one backend and one Clifford channel table.
 
     Parameters
     ----------
@@ -154,24 +180,41 @@ def generate_table1(
         Use reduced RB lengths / seeds / shots so the full table completes in
         a couple of minutes on a laptop; set False for publication-quality
         statistics.
+    seed:
+        Optimization / benchmarking seed (per row, as before).
+    store:
+        Persistent Clifford-store selector forwarded to the session
+        (``None`` — the historical behaviour — disables persistence).
+    num_workers:
+        Per-experiment process fan-out forwarded to the session.
     """
-    backends: dict = {}
+    from ..session.session import Session
+
+    row_dicts = list(rows) if rows is not None else list(TABLE1_ROWS)
+    triples = [table1_row_specs(row, fast=fast, seed=seed) for row in row_dicts]
     out: list[Table1Row] = []
-    for spec in rows if rows is not None else TABLE1_ROWS:
-        result = _row_to_result(spec, fast=fast, seed=seed, backends=backends)
-        out.append(
-            Table1Row(
-                gate=spec["gate"],
-                duration_ns=spec["duration_ns"],
-                device=spec["device"],
-                custom_error=result.custom_irb.gate_error,
-                custom_error_std=result.custom_irb.gate_error_std,
-                default_error=result.default_irb.gate_error,
-                default_error_std=result.default_irb.gate_error_std,
-                custom_channel_error=result.custom_channel_error,
-                default_channel_error=result.default_channel_error,
+    with Session(store=store, num_workers=num_workers, seed=seed) as session:
+        flat = [
+            spec
+            for triple in triples
+            for spec in (triple["custom_irb"], triple["default_irb"], triple["grape"])
+        ]
+        results = session.run_all(flat)
+        for position, row in enumerate(row_dicts):
+            custom, default, grape = results[3 * position : 3 * position + 3]
+            out.append(
+                Table1Row(
+                    gate=row["gate"],
+                    duration_ns=row["duration_ns"],
+                    device=row["device"],
+                    custom_error=custom["gate_error"],
+                    custom_error_std=custom["gate_error_std"],
+                    default_error=default["gate_error"],
+                    default_error_std=default["gate_error_std"],
+                    custom_channel_error=grape["custom_channel_error"],
+                    default_channel_error=grape["default_channel_error"],
+                )
             )
-        )
     return out
 
 

@@ -1,0 +1,44 @@
+"""Declarative experiment sessions: specs, planning, execution, results.
+
+The paper's deliverable is a *suite* of experiments (Figs. 1–8, Table I);
+this package is the submission surface that runs such suites as first-class
+workloads instead of ad-hoc driver functions:
+
+* :mod:`~repro.session.specs` — frozen, serializable experiment
+  specifications (:class:`GRAPESpec`, :class:`RBSpec`, :class:`IRBSpec`,
+  :class:`SweepSpec`) with ``to_dict``/``from_dict`` round-trips and
+  content fingerprints,
+* :mod:`~repro.session.planner` — the pure cross-experiment planner that
+  fingerprints each spec's preparation needs and deduplicates shared
+  artifacts (Clifford groups, device backends, GRAPE pulses, channel
+  tables) across a batch,
+* :mod:`~repro.session.session` — :class:`Session`, owning the backends,
+  the persistent store and the process pool; ``submit(spec)`` returns a
+  future, ``run_all(specs)`` plans jointly and fans out,
+* :mod:`~repro.session.results` — the uniform :class:`ExperimentResult`
+  (payload + provenance manifest) with lossless JSON save/load.
+
+See ``docs/sessions.md`` for the full API guide and the migration notes
+from the legacy figure drivers.
+"""
+
+from .planner import PrepStep, SessionPlan, expand_specs, plan_specs, prep_steps_for
+from .results import ExperimentResult
+from .session import Session
+from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec, spec_from_dict
+
+__all__ = [
+    "ExperimentSpec",
+    "GRAPESpec",
+    "RBSpec",
+    "IRBSpec",
+    "SweepSpec",
+    "spec_from_dict",
+    "ExperimentResult",
+    "Session",
+    "SessionPlan",
+    "PrepStep",
+    "plan_specs",
+    "prep_steps_for",
+    "expand_specs",
+]

@@ -1,0 +1,213 @@
+"""Cross-experiment preparation planning.
+
+A batch of specs submitted to a :class:`~repro.session.session.Session`
+usually shares expensive preparation: Figs. 3 and 4 both benchmark qubit 0
+of montreal, so they need the *same* single-qubit Clifford channel table; a
+custom-vs-default IRB pair nests the same GRAPE spec, so they need one
+pulse optimization; every spec of a sweep shares its device backend.  PR 1
+and PR 2 deduplicated this work *within* one experiment (gate-channel
+cache, persistent store); the planner deduplicates it *across*
+experiments.
+
+The planner is deliberately **pure**: :func:`plan_specs` inspects spec
+fields only — it builds nothing, imports no backend, and runs in
+microseconds.  It emits dependency-ordered :class:`PrepStep` descriptors
+keyed by content (device name, qubit tuple, GRAPE-spec fingerprint), each
+listing its consumer specs; the session executes each step exactly once
+(guarded by per-key locks for concurrent ``submit()``) before fanning the
+experiments out.
+
+Step kinds, in build order:
+
+``group``
+    Enumerate (or load from the store) the n-qubit Clifford group.
+``backend``
+    Instantiate the device's :class:`~repro.backend.backend.PulseBackend`.
+``grape``
+    Run one pulse optimization and lower it to a schedule.
+``table``
+    Build the per-Clifford channel table of one (device, qubit-tuple),
+    covering the union of element indices every consumer's sequences
+    touch — with a persistent store attached this is the single write the
+    store counters observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec
+from ..utils.validation import ValidationError
+
+__all__ = ["PrepStep", "SessionPlan", "plan_specs", "expand_specs"]
+
+#: Build order of preparation kinds (dependencies point left).
+_KIND_ORDER = ("group", "backend", "grape", "table")
+
+
+@dataclass(frozen=True)
+class PrepStep:
+    """One shared preparation artifact to build exactly once.
+
+    Attributes
+    ----------
+    key : tuple
+        Hashable content key, e.g. ``("table", "montreal", (0,))`` or
+        ``("grape", "<fingerprint>")``.  Two specs needing the same key
+        share one build.
+    kind : str
+        ``"group"`` | ``"backend"`` | ``"grape"`` | ``"table"``.
+    detail : str
+        Human-readable description (for logs and plan reprs).
+    payload : object, optional
+        Kind-specific build input — for ``grape`` steps, the
+        :class:`~repro.session.specs.GRAPESpec` itself (its fingerprint is
+        already in the key, so equal keys imply equal payloads).
+    """
+
+    key: tuple
+    kind: str
+    detail: str
+    payload: object = None
+
+
+@dataclass
+class SessionPlan:
+    """Deduplicated, ordered preparation plan for a batch of specs.
+
+    Attributes
+    ----------
+    specs : list of ExperimentSpec
+        The flat (sweep-expanded) spec list the plan covers.
+    steps : list of PrepStep
+        Dependency-ordered unique preparation steps.
+    consumers : dict
+        ``step.key`` → indices into :attr:`specs` that need the step.
+    """
+
+    specs: list[ExperimentSpec]
+    steps: list[PrepStep] = field(default_factory=list)
+    consumers: dict[tuple, list[int]] = field(default_factory=dict)
+
+    @property
+    def shared_steps(self) -> list[PrepStep]:
+        """Steps consumed by more than one spec (the dedup payoff)."""
+        return [s for s in self.steps if len(self.consumers.get(s.key, ())) > 1]
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan summary."""
+        lines = [f"session plan: {len(self.specs)} spec(s), {len(self.steps)} prep step(s)"]
+        for step in self.steps:
+            users = len(self.consumers.get(step.key, ()))
+            shared = f" [shared x{users}]" if users > 1 else ""
+            lines.append(f"  - {step.kind}: {step.detail}{shared}")
+        return "\n".join(lines)
+
+
+def _canonical_device(device: str) -> str:
+    """Canonical device key — delegates to the device registry's aliasing."""
+    from ..devices.library import canonical_device_name
+
+    return canonical_device_name(device)
+
+
+def expand_specs(specs) -> list[ExperimentSpec]:
+    """Flatten sweeps into concrete specs (non-sweeps pass through)."""
+    flat: list[ExperimentSpec] = []
+    for spec in specs:
+        if isinstance(spec, SweepSpec):
+            flat.extend(spec.expand())
+        else:
+            flat.append(spec)
+    return flat
+
+
+def prep_steps_for(spec: ExperimentSpec) -> list[PrepStep]:
+    """The preparation steps one concrete spec needs, in build order."""
+    if isinstance(spec, SweepSpec):
+        raise ValidationError("expand sweeps before planning (see expand_specs)")
+    device = _canonical_device(spec.device)
+    steps: list[PrepStep] = [
+        PrepStep(key=("backend", device), kind="backend", detail=f"PulseBackend({device})")
+    ]
+    if isinstance(spec, GRAPESpec):
+        steps.append(
+            PrepStep(
+                key=("grape", spec.fingerprint()),
+                kind="grape",
+                detail=f"optimize {spec.gate} ({spec.duration_ns:g} ns) on {device}",
+                payload=spec,
+            )
+        )
+        return steps
+    if isinstance(spec, (RBSpec, IRBSpec)):
+        n_qubits = len(spec.qubits)
+        steps.insert(
+            0,
+            PrepStep(
+                key=("group", n_qubits),
+                kind="group",
+                detail=f"{n_qubits}-qubit Clifford group",
+            ),
+        )
+        calibration = getattr(spec, "calibration", None)
+        if calibration is not None:
+            calibration_device = _canonical_device(calibration.device)
+            if calibration_device != device:
+                steps.append(
+                    PrepStep(
+                        key=("backend", calibration_device),
+                        kind="backend",
+                        detail=f"PulseBackend({calibration_device})",
+                    )
+                )
+            steps.append(
+                PrepStep(
+                    key=("grape", calibration.fingerprint()),
+                    kind="grape",
+                    detail=(
+                        f"optimize {calibration.gate} "
+                        f"({calibration.duration_ns:g} ns) on "
+                        f"{_canonical_device(calibration.device)}"
+                    ),
+                    payload=calibration,
+                )
+            )
+        steps.append(
+            PrepStep(
+                key=("table", device, spec.qubits),
+                kind="table",
+                detail=f"Clifford channel table {device} q{list(spec.qubits)}",
+            )
+        )
+        return steps
+    raise ValidationError(f"cannot plan spec of kind {getattr(spec, 'kind', '?')!r}")
+
+
+def plan_specs(specs) -> SessionPlan:
+    """Build the deduplicated preparation plan of a batch of specs.
+
+    Parameters
+    ----------
+    specs : iterable of ExperimentSpec
+        Specs to plan (sweeps are expanded first).
+
+    Returns
+    -------
+    SessionPlan
+        Unique steps in dependency order (groups, then backends, then
+        GRAPE optimizations, then channel tables), each annotated with its
+        consumer specs.
+    """
+    flat = expand_specs(specs)
+    by_key: dict[tuple, PrepStep] = {}
+    consumers: dict[tuple, list[int]] = {}
+    for position, spec in enumerate(flat):
+        for step in prep_steps_for(spec):
+            by_key.setdefault(step.key, step)
+            consumers.setdefault(step.key, []).append(position)
+    ordered = sorted(
+        by_key.values(),
+        key=lambda s: (_KIND_ORDER.index(s.kind), s.key),
+    )
+    return SessionPlan(specs=flat, steps=ordered, consumers=consumers)

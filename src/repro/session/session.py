@@ -1,0 +1,545 @@
+"""The :class:`Session`: the declarative experiment submission surface.
+
+A session owns the live resources every experiment needs — the per-device
+:class:`~repro.backend.backend.PulseBackend` instances, the persistent
+Clifford channel store, and the process-pool fan-out — and executes
+:mod:`specs <repro.session.specs>` against them:
+
+.. code-block:: python
+
+    from repro.session import Session, IRBSpec, GRAPESpec
+
+    pulse = GRAPESpec(device="montreal", gate="x", duration_ns=105.0,
+                      n_ts=12, include_decoherence=True, seed=2022)
+    custom = IRBSpec(device="montreal", gate="x", qubits=(0,),
+                     lengths=(1, 16, 48), n_seeds=4, shots=400,
+                     seed=2022, calibration=pulse)
+    default = IRBSpec(device="montreal", gate="x", qubits=(0,),
+                      lengths=(1, 16, 48), n_seeds=4, shots=400, seed=2022)
+
+    with Session(store="auto", num_workers=0) as session:
+        custom_result, default_result = session.run_all([custom, default])
+
+``run_all`` plans the batch first (see
+:mod:`repro.session.planner`): shared preparation — the Clifford group,
+the device backend, the GRAPE pulse nested by ``custom``, and the
+per-Clifford channel table both IRB curves replay — is built exactly
+once, then execution fans out.  ``submit(spec)`` returns a
+:class:`~concurrent.futures.Future` immediately; concurrent submits of
+overlapping specs coordinate through per-artifact locks, so a shared
+channel table is still built (and persisted) exactly once — observable
+through the store's write counters.
+
+Results are bit-identical to running the standalone experiment classes
+directly: the session changes *when* shared artifacts are built, never
+*what* is computed (all randomness flows from per-spec seeds).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .planner import SessionPlan, plan_specs, prep_steps_for
+from .results import ExperimentResult
+from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec
+from ..utils.validation import ValidationError
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Owns backends, store and pool; executes specs with shared planning.
+
+    Parameters
+    ----------
+    backend : PulseBackend or dict, optional
+        A pre-built backend to adopt (matched to specs by its properties
+        fingerprint), or a mapping of canonical device name →
+        ``PulseBackend``.  Backends for other devices are created on
+        demand with ``calibrated_qubits=[0, 1]`` (the paper's layout).
+    store : optional
+        Persistent Clifford-store selector: ``"auto"`` (default cache
+        directory), a path, a
+        :class:`~repro.benchmarking.store.CliffordChannelStore`, or
+        ``None`` / ``False`` for no persistence.
+    num_workers : int
+        Default process fan-out for spec execution: ``0`` = all available
+        CPUs, ``1`` = serial (specs may override via their own
+        ``num_workers`` field).
+    max_concurrency : int, optional
+        Maximum number of specs executing concurrently (thread fan-out on
+        top of the process pool).  Defaults to 4.
+    seed : optional
+        Seed of backends created by the session (feeds only their
+        fallback sampling RNG; every experiment draws from its spec seed,
+        so results do not depend on this).
+    """
+
+    def __init__(
+        self,
+        backend=None,
+        store="auto",
+        num_workers: int = 0,
+        max_concurrency: int | None = None,
+        seed=None,
+    ):
+        from ..benchmarking.store import resolve_store
+
+        self.store = resolve_store(store)
+        self.num_workers = int(num_workers)
+        self.seed = seed
+        self._backends: dict[str, object] = {}
+        self._adopted = []
+        if backend is not None:
+            if isinstance(backend, dict):
+                for name, instance in backend.items():
+                    self._backends[_canonical(name)] = instance
+            else:
+                self._adopted.append(backend)
+        self._artifacts: dict[tuple, object] = {}
+        self._artifact_locks: dict[tuple, threading.Lock] = {}
+        self._registry_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, int(max_concurrency or 4)),
+            thread_name_prefix="repro-session",
+        )
+        self._closed = False
+        #: Wall-clock seconds spent building each prep key (observability).
+        self.prep_timings: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the session's thread executor (idempotent).
+
+        The shared process pool of :mod:`repro.utils.parallel` is left
+        running (it is module-level and reused across sessions); call
+        :func:`repro.utils.parallel.shutdown_pool` to reclaim it.
+        """
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        store = getattr(self.store, "root", None)
+        return (
+            f"Session(devices={sorted(self._backends) or '∅'}, "
+            f"store={str(store) if store else None}, num_workers={self.num_workers})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # resources
+    # ------------------------------------------------------------------ #
+    def backend_for(self, device: str):
+        """The session's (shared, lazily created) backend of a device."""
+        device = _canonical(device)
+        return self._artifact(("backend", device), lambda: self._build_backend(device))
+
+    def schedule_for(self, spec: GRAPESpec):
+        """The optimized pulse schedule of a GRAPE spec (prepared once)."""
+        return self._grape_artifact(spec)[1]
+
+    def optimization_for(self, spec: GRAPESpec):
+        """The raw :class:`OptimResult` of a GRAPE spec (prepared once)."""
+        return self._grape_artifact(spec)[0]
+
+    def _experiment_store(self):
+        """Store argument for experiment constructors (``False`` = off)."""
+        return self.store if self.store is not None else False
+
+    def _resolve_workers(self, spec) -> int:
+        spec_workers = getattr(spec, "num_workers", None)
+        return self.num_workers if spec_workers is None else int(spec_workers)
+
+    # ------------------------------------------------------------------ #
+    # submission API
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: ExperimentSpec) -> "Future[ExperimentResult]":
+        """Submit one spec for execution; returns a future immediately.
+
+        Shared preparation is coordinated through per-artifact locks, so
+        concurrently submitted overlapping specs build each shared
+        artifact (group, backend, GRAPE pulse, channel table) exactly
+        once — the rest block until it is ready, then execute.
+        """
+        if self._closed:
+            raise ValidationError("session is closed")
+        if not isinstance(spec, ExperimentSpec):
+            raise ValidationError(f"submit expects an ExperimentSpec, got {type(spec).__name__}")
+        return self._executor.submit(self._run_spec, spec)
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute one spec synchronously (``submit(...).result()``)."""
+        return self.submit(spec).result()
+
+    def run_all(self, specs: Iterable[ExperimentSpec]) -> list[ExperimentResult]:
+        """Plan a batch jointly, build shared prep once, then fan out.
+
+        Equivalent to submitting every spec and gathering the results —
+        but the preparation phase is planned over the *whole batch* up
+        front (see :meth:`plan`), so e.g. three IRB specs on the same
+        qubits trigger one channel-table build covering the union of
+        their sequences before any experiment starts.
+        """
+        specs = list(specs)
+        plan = self.plan(specs)
+        self._build_plan(plan)
+        futures = [self.submit(spec) for spec in specs]
+        return [future.result() for future in futures]
+
+    def plan(self, specs: Sequence[ExperimentSpec]) -> SessionPlan:
+        """The deduplicated preparation plan of a batch (builds nothing)."""
+        return plan_specs(specs)
+
+    # ------------------------------------------------------------------ #
+    # preparation
+    # ------------------------------------------------------------------ #
+    def _build_plan(self, plan: SessionPlan) -> None:
+        """Build every plan step exactly once, in dependency order.
+
+        The ``table`` steps cover the **union** of element indices used by
+        every consumer spec, so per-experiment flushes afterwards find
+        nothing new to persist (the store counters observe one write).
+        """
+        for step in plan.steps:
+            consumers = [plan.specs[i] for i in plan.consumers.get(step.key, [])]
+            self._build_step(step, consumers)
+
+    def _build_step(self, step, consumers: Sequence[ExperimentSpec]):
+        """Build one plan step through the exactly-once artifact registry."""
+        if step.kind == "group":
+            return self._group_artifact(step.key[1])
+        if step.kind == "backend":
+            return self.backend_for(step.key[1])
+        if step.kind == "grape":
+            return self._grape_artifact(step.payload)
+        if step.kind == "table":
+            return self._table_artifact(step.key, consumers)
+        raise ValidationError(f"unknown preparation kind {step.kind!r}")
+
+    def _table_artifact(self, key: tuple, consumers: Sequence[ExperimentSpec]):
+        """The channel table of one (device, qubits), covering ``consumers``.
+
+        Creation is exactly-once through the artifact registry; *coverage*
+        is then extended for these consumers under the same per-key lock.
+        Every consumer's elements are therefore built (and, with a store,
+        flushed) before its experiment executes — so the execution-time
+        ``table.ensure`` inside the engine finds everything present and
+        performs no concurrent mutation, and each element is built exactly
+        once no matter how submits interleave.
+        """
+        table = self._artifact(key, lambda: self._build_table(key[1], key[2]))
+        if not consumers:
+            return table
+        with self._registry_lock:
+            lock = self._artifact_locks[key]  # created by _artifact above
+        with lock:
+            used = self._used_indices(consumers)
+            if used:
+                start = time.perf_counter()
+                table.ensure(used)
+                self.prep_timings[key] = self.prep_timings.get(key, 0.0) + (
+                    time.perf_counter() - start
+                )
+        return table
+
+    def _artifact(self, key: tuple, builder):
+        """The artifact of one prep key, built exactly once under a lock.
+
+        A double-checked per-key :class:`threading.Lock` makes concurrent
+        ``submit()`` calls that need the same artifact coordinate: the
+        first builds, the rest block until it is registered, nobody builds
+        twice.  Build wall-clocks are recorded in :attr:`prep_timings`.
+        """
+        artifact = self._artifacts.get(key)
+        if artifact is not None:
+            return artifact
+        with self._registry_lock:
+            lock = self._artifact_locks.setdefault(key, threading.Lock())
+        with lock:
+            artifact = self._artifacts.get(key)
+            if artifact is None:
+                start = time.perf_counter()
+                artifact = builder()
+                self.prep_timings[key] = self.prep_timings.get(key, 0.0) + (
+                    time.perf_counter() - start
+                )
+                self._artifacts[key] = artifact
+        return artifact
+
+    def _group_artifact(self, n_qubits: int):
+        """The (store-backed) Clifford group, built/loaded exactly once."""
+
+        def build():
+            from ..benchmarking.clifford import clifford_group
+
+            return clifford_group(n_qubits, store=self.store)
+
+        return self._artifact(("group", int(n_qubits)), build)
+
+    def _grape_artifact(self, spec: GRAPESpec):
+        """(OptimResult, Schedule) of a GRAPE spec, built exactly once."""
+        if not isinstance(spec, GRAPESpec):
+            raise ValidationError("GRAPE preparation expects a GRAPESpec")
+
+        def build():
+            from ..experiments.gates import optimize_gate_pulse, pulse_schedule_from_result
+
+            backend = self.backend_for(spec.device)
+            config = spec.gate_config()
+            optimization = optimize_gate_pulse(backend.properties, config)
+            schedule = pulse_schedule_from_result(backend.properties, config, optimization)
+            return optimization, schedule
+
+        return self._artifact(("grape", spec.fingerprint()), build)
+
+    def _build_backend(self, device: str):
+        from ..backend.backend import PulseBackend
+        from ..devices.library import get_device
+
+        existing = self._backends.get(device)
+        if existing is not None:
+            return existing
+        properties = get_device(device)
+        for adopted in self._adopted:
+            if adopted.properties.fingerprint() == properties.fingerprint():
+                self._backends[device] = adopted
+                return adopted
+        backend = PulseBackend.from_device(
+            device,
+            calibrated_qubits=[0, 1],
+            seed=self.seed,
+            channel_store=self.store,
+        )
+        self._backends[device] = backend
+        return backend
+
+    def _build_table(self, device: str, qubits: tuple[int, ...]):
+        """Create (or fetch) the backend's channel table for a qubit set.
+
+        Coverage — actually building element channels — happens in
+        :meth:`_table_artifact` under the table's per-key lock.
+        """
+        from ..benchmarking.engine import clifford_channel_table
+
+        backend = self.backend_for(device)
+        group = self._group_artifact(len(qubits))
+        return clifford_channel_table(
+            backend, list(qubits), group, store=self._experiment_store()
+        )
+
+    def _used_indices(self, consumers) -> set[int]:
+        """Union of group-element indices the consumers' sequences touch.
+
+        Regenerates each consumer's sequences (deterministic in its seed,
+        and cheap — tableau-composed indices, no circuits) with the
+        session's store attached, so the group enumeration resolves
+        through the same persistence path as every other preparation.
+        """
+        from ..benchmarking.engine import used_element_indices
+        from ..benchmarking.rb import rb_sequences
+        from ..circuits.gate import Gate
+
+        used: set[int] = set()
+        for spec in consumers:
+            interleaved = None
+            if isinstance(spec, IRBSpec):
+                interleaved = Gate.standard(spec.gate)
+            sequences = rb_sequences(
+                list(spec.qubits),
+                lengths=spec.lengths,
+                n_seeds=spec.n_seeds,
+                seed=spec.seed,
+                interleaved_gate=interleaved,
+                interleaved_qubits=list(spec.qubits) if interleaved is not None else None,
+                build_circuits=False,
+                store=self.store,
+            )
+            used |= used_element_indices(sequences)
+        return used
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Prepare (exactly once, lock-guarded) and execute one spec."""
+        if isinstance(spec, SweepSpec):
+            return self._run_sweep(spec)
+        prep_start = time.perf_counter()
+        for step in prep_steps_for(spec):
+            self._build_step(step, [spec])
+        prepare_s = time.perf_counter() - prep_start
+
+        execute_start = time.perf_counter()
+        if isinstance(spec, GRAPESpec):
+            payload, provenance_extra = self._execute_grape(spec)
+        elif isinstance(spec, RBSpec):
+            payload, provenance_extra = self._execute_rb(spec)
+        elif isinstance(spec, IRBSpec):
+            payload, provenance_extra = self._execute_irb(spec)
+        else:
+            raise ValidationError(f"cannot execute spec of kind {spec.kind!r}")
+        execute_s = time.perf_counter() - execute_start
+
+        backend = self.backend_for(spec.device)
+        provenance = {
+            "spec_fingerprint": spec.fingerprint(),
+            "properties_fingerprint": backend.properties.fingerprint(),
+            "store_root": str(self.store.root) if self.store is not None else None,
+            "timings": {"prepare_s": prepare_s, "execute_s": execute_s},
+            **provenance_extra,
+        }
+        return ExperimentResult(
+            kind=spec.kind, spec=spec.to_dict(), payload=payload, provenance=provenance
+        )
+
+    def _run_sweep(self, spec: SweepSpec) -> ExperimentResult:
+        """Execute a sweep: plan the grid jointly, then run every point."""
+        children = spec.expand()
+        self._build_plan(self.plan(children))
+        results = [self._run_spec(child) for child in children]
+        payload = {
+            "grid": [[name, list(values)] for name, values in spec.grid],
+            "children": [
+                {"spec": r.spec, "payload": r.payload, "provenance": r.provenance}
+                for r in results
+            ],
+        }
+        provenance = {
+            "spec_fingerprint": spec.fingerprint(),
+            "n_points": len(children),
+        }
+        return ExperimentResult(
+            kind=spec.kind, spec=spec.to_dict(), payload=payload, provenance=provenance
+        )
+
+    def _execute_grape(self, spec: GRAPESpec):
+        """Execute a GRAPE spec: expose the pulse and its channel errors."""
+        from ..qobj.gates import standard_gate_unitary
+        from ..qobj.metrics import average_gate_fidelity
+
+        backend = self.backend_for(spec.device)
+        optimization, schedule = self._grape_artifact(spec)
+        gate = spec.gate.lower()
+        target = standard_gate_unitary(gate)
+        custom_channel = backend.simulator.schedule_channel(schedule, qubits=list(spec.qubits))
+        custom_error = 1.0 - average_gate_fidelity(custom_channel, target)
+        if gate == "h":
+            # no standalone default H pulse exists: the default H transpiles
+            # to rz-sx-rz, so its channel error is that of the default sx
+            # (same convention as experiments.gates.run_gate_experiment)
+            default_channel = backend.gate_channel("sx", spec.qubits)
+            default_error = 1.0 - average_gate_fidelity(
+                default_channel, standard_gate_unitary("sx")
+            )
+        else:
+            default_channel = backend.gate_channel(gate, spec.qubits)
+            default_error = 1.0 - average_gate_fidelity(default_channel, target)
+        times = np.arange(optimization.n_ts) * optimization.dt
+        payload = {
+            "times_ns": times,
+            "initial_amps": np.asarray(optimization.initial_amps),
+            "final_amps": np.asarray(optimization.final_amps),
+            "fid_err": float(optimization.fid_err),
+            "n_iter": int(optimization.n_iter),
+            "n_ts": int(optimization.n_ts),
+            "dt": float(optimization.dt),
+            "duration_ns": float(spec.duration_ns),
+            "schedule_duration_samples": int(schedule.duration),
+            "custom_channel_error": float(custom_error),
+            "default_channel_error": float(default_error),
+        }
+        return payload, {"schedule_fingerprint": schedule.fingerprint()}
+
+    def _rb_payload(self, result) -> dict:
+        """Flatten one RBResult into plain payload entries."""
+        return {
+            "lengths": np.asarray(result.lengths),
+            "survival_mean": np.asarray(result.survival_mean),
+            "survival_std": np.asarray(result.survival_std),
+            "alpha": float(result.alpha),
+            "alpha_err": float(result.alpha_err),
+            "error_per_clifford": float(result.error_per_clifford),
+            "error_per_clifford_err": float(result.error_per_clifford_err),
+        }
+
+    def _table_provenance(self, spec) -> dict:
+        """Store key of the channel table a RB/IRB spec replays (if any)."""
+        table = self._artifacts.get(("table", _canonical(spec.device), spec.qubits))
+        if table is None:
+            return {}
+        return {"store_key": table.store_key}
+
+    def _execute_rb(self, spec: RBSpec):
+        """Execute a standard-RB spec through the shared resources."""
+        from ..benchmarking.rb import StandardRB
+
+        backend = self.backend_for(spec.device)
+        experiment = StandardRB(
+            backend,
+            list(spec.qubits),
+            lengths=spec.lengths,
+            n_seeds=spec.n_seeds,
+            shots=spec.shots,
+            seed=spec.seed,
+            engine=spec.engine,
+            num_workers=self._resolve_workers(spec),
+            store=self._experiment_store(),
+        )
+        result = experiment.run()
+        return self._rb_payload(result), self._table_provenance(spec)
+
+    def _execute_irb(self, spec: IRBSpec):
+        """Execute an interleaved-RB spec (custom pulse from its GRAPE)."""
+        from ..benchmarking.irb import InterleavedRBExperiment
+
+        backend = self.backend_for(spec.device)
+        calibration_schedule = None
+        if spec.calibration is not None:
+            calibration_schedule = self._grape_artifact(spec.calibration)[1]
+        experiment = InterleavedRBExperiment(
+            backend,
+            spec.gate,
+            list(spec.qubits),
+            lengths=spec.lengths,
+            n_seeds=spec.n_seeds,
+            shots=spec.shots,
+            seed=spec.seed,
+            custom_calibration=calibration_schedule,
+            engine=spec.engine,
+            num_workers=self._resolve_workers(spec),
+            store=self._experiment_store(),
+        )
+        result = experiment.run()
+        lo, hi = result.systematic_bounds
+        payload = {
+            "gate_name": result.gate_name,
+            "gate_error": float(result.gate_error),
+            "gate_error_std": float(result.gate_error_std),
+            "alpha_c": float(result.alpha_c),
+            "systematic_lower": float(lo),
+            "systematic_upper": float(hi),
+        }
+        for label, curve in (("reference", result.reference), ("interleaved", result.interleaved)):
+            for key, value in self._rb_payload(curve).items():
+                payload[f"{label}_{key}"] = value
+        return payload, self._table_provenance(spec)
+
+
+def _canonical(device: str) -> str:
+    """Canonical device key shared with the planner."""
+    from .planner import _canonical_device
+
+    return _canonical_device(device)

@@ -1,0 +1,399 @@
+"""Declarative, serializable experiment specifications.
+
+A *spec* is a frozen dataclass describing one workload — a GRAPE pulse
+optimization (:class:`GRAPESpec`), a standard RB run (:class:`RBSpec`), an
+interleaved RB comparison (:class:`IRBSpec`), or a grid sweep over any spec
+field (:class:`SweepSpec`).  Specs carry **no live objects**: devices are
+named strings resolved through :func:`repro.devices.library.get_device`,
+and a custom pulse calibration is declared as a *nested* :class:`GRAPESpec`
+rather than a schedule — which is exactly what lets the session planner
+fingerprint shared preparation (two IRB specs nesting the same GRAPE spec
+share one optimization; see :mod:`repro.session.planner`).
+
+Every spec round-trips through ``to_dict()`` / :func:`spec_from_dict` and
+has a stable content :meth:`~ExperimentSpec.fingerprint` — the SHA-256 of
+its canonical JSON form, following the content-addressing contract of
+``docs/caching.md``: equal fingerprints ⇔ identical workloads, so specs
+can be deduplicated, cached and referenced from result provenance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, ClassVar
+
+from ..utils.validation import ValidationError
+
+__all__ = [
+    "ExperimentSpec",
+    "GRAPESpec",
+    "RBSpec",
+    "IRBSpec",
+    "SweepSpec",
+    "spec_from_dict",
+]
+
+#: Registry of concrete spec classes by their ``kind`` tag (filled by
+#: ``__init_subclass__``); drives :func:`spec_from_dict` dispatch.
+_SPEC_KINDS: dict[str, type] = {}
+
+
+def _jsonify(value: Any) -> Any:
+    """Convert a spec field value into its canonical JSON form."""
+    if isinstance(value, ExperimentSpec):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (list, set)):
+        raise ValidationError(
+            f"spec fields must use tuples, not {type(value).__name__}: {value!r}"
+        )
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValidationError(f"spec field value is not JSON-serializable: {value!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Base class of all experiment specifications.
+
+    Concrete subclasses are frozen dataclasses tagged with a class-level
+    ``kind`` string; they serialize with :meth:`to_dict`, deserialize with
+    :func:`spec_from_dict` (or the subclass's :meth:`from_dict`), and are
+    content-addressed by :meth:`fingerprint`.
+    """
+
+    #: Serialization tag; unique per concrete subclass.
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs):
+        """Register the subclass under its ``kind`` tag."""
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            _SPEC_KINDS[cls.kind] = cls
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary form (tuples become lists).
+
+        The inverse is :func:`spec_from_dict`, which dispatches on the
+        embedded ``kind`` tag; ``spec_from_dict(spec.to_dict()) == spec``
+        for every spec.
+        """
+        data: dict = {"kind": self.kind}
+        for field in fields(self):
+            data[field.name] = _jsonify(getattr(self, field.name))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Rebuild a spec of this class from :meth:`to_dict` output."""
+        payload = {k: v for k, v in data.items() if k != "kind"}
+        return cls(**cls._convert_fields(payload))
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        """Hook: convert JSON field values back to constructor values."""
+        return payload
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content address of the spec.
+
+        Hashes the canonical (sorted-keys, minimal-separator) JSON form of
+        :meth:`to_dict`, so two specs with equal field values fingerprint
+        identically regardless of construction order or object identity —
+        the same contract as ``Schedule.fingerprint`` and
+        ``BackendProperties.fingerprint`` (see ``docs/caching.md``).
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def spec_from_dict(data: dict) -> ExperimentSpec:
+    """Rebuild any spec from its :meth:`~ExperimentSpec.to_dict` form.
+
+    Parameters
+    ----------
+    data : dict
+        Serialized spec with a ``kind`` tag.
+
+    Returns
+    -------
+    ExperimentSpec
+        The reconstructed spec (``spec_from_dict(s.to_dict()) == s``).
+    """
+    kind = data.get("kind")
+    spec_cls = _SPEC_KINDS.get(kind)
+    if spec_cls is None:
+        raise ValidationError(
+            f"unknown spec kind {kind!r}; known: {sorted(_SPEC_KINDS)}"
+        )
+    return spec_cls.from_dict(data)
+
+
+def _int_tuple(value) -> tuple[int, ...]:
+    return tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class GRAPESpec(ExperimentSpec):
+    """Declarative GRAPE pulse optimization for one gate on one device.
+
+    Mirrors :class:`repro.experiments.gates.GateExperimentConfig` plus the
+    target ``device`` name, so executing the spec is exactly
+    ``optimize_gate_pulse(get_device(device), spec.gate_config())``
+    followed by the schedule lowering — deterministic in the seed, which
+    is what makes nested GRAPE specs shareable preparation artifacts.
+
+    Attributes
+    ----------
+    device : str
+        Fake-device name resolved via
+        :func:`repro.devices.library.get_device` (e.g. ``"montreal"``).
+    gate, qubits, duration_ns, n_ts, method, include_decoherence, \
+    optimizer_levels, init_pulse_type, init_pulse_scale, amp_lbound, \
+    amp_ubound, fid_err_targ, max_iter, seed
+        As in :class:`~repro.experiments.gates.GateExperimentConfig`.
+    """
+
+    kind: ClassVar[str] = "grape"
+
+    device: str = "montreal"
+    gate: str = "x"
+    qubits: tuple[int, ...] = (0,)
+    duration_ns: float = 105.0
+    n_ts: int = 12
+    method: str = "LBFGS"
+    include_decoherence: bool = False
+    optimizer_levels: int = 3
+    init_pulse_type: str = "DRAG"
+    init_pulse_scale: float = 0.25
+    amp_lbound: float = -(2.0**-0.5)
+    amp_ubound: float = 2.0**-0.5
+    fid_err_targ: float = 1e-10
+    max_iter: int = 300
+    seed: int | None = 1234
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _int_tuple(self.qubits))
+        # validate eagerly by building the config once
+        self.gate_config()
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        payload["qubits"] = _int_tuple(payload.get("qubits", (0,)))
+        return payload
+
+    def gate_config(self):
+        """The equivalent :class:`GateExperimentConfig` (validates fields)."""
+        from ..experiments.gates import GateExperimentConfig
+
+        return GateExperimentConfig(
+            gate=self.gate,
+            qubits=self.qubits,
+            duration_ns=self.duration_ns,
+            n_ts=self.n_ts,
+            method=self.method,
+            include_decoherence=self.include_decoherence,
+            optimizer_levels=self.optimizer_levels,
+            init_pulse_type=self.init_pulse_type,
+            init_pulse_scale=self.init_pulse_scale,
+            amp_lbound=self.amp_lbound,
+            amp_ubound=self.amp_ubound,
+            fid_err_targ=self.fid_err_targ,
+            max_iter=self.max_iter,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class RBSpec(ExperimentSpec):
+    """Declarative standard randomized-benchmarking run.
+
+    Attributes
+    ----------
+    device : str
+        Fake-device name.
+    qubits : tuple of int
+        Benchmarked physical qubits (1 or 2).
+    lengths : tuple of int, optional
+        Sequence lengths (``None`` = qubit-count default).
+    n_seeds, shots, seed
+        As in :class:`~repro.benchmarking.rb.StandardRB`.
+    engine : str
+        ``"channels"`` (batched) or ``"circuits"`` (reference).
+    num_workers : int, optional
+        Per-experiment process fan-out; ``None`` inherits the session's.
+    """
+
+    kind: ClassVar[str] = "rb"
+
+    device: str = "montreal"
+    qubits: tuple[int, ...] = (0,)
+    lengths: tuple[int, ...] | None = None
+    n_seeds: int = 3
+    shots: int = 512
+    seed: int | None = None
+    engine: str = "channels"
+    num_workers: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _int_tuple(self.qubits))
+        if self.lengths is not None:
+            object.__setattr__(self, "lengths", _int_tuple(self.lengths))
+        if len(self.qubits) not in (1, 2):
+            raise ValidationError(f"RB supports 1 or 2 qubits, got {self.qubits}")
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        payload["qubits"] = _int_tuple(payload.get("qubits", (0,)))
+        if payload.get("lengths") is not None:
+            payload["lengths"] = _int_tuple(payload["lengths"])
+        return payload
+
+
+@dataclass(frozen=True)
+class IRBSpec(ExperimentSpec):
+    """Declarative interleaved-RB comparison of one gate.
+
+    The interleaved gate's custom pulse — the paper's optimized-pulse
+    mechanism — is declared as a nested :class:`GRAPESpec` in
+    ``calibration``; ``None`` benchmarks the backend-default gate.  Because
+    the calibration is itself a fingerprintable spec, a custom-vs-default
+    IRB pair *plus* the histogram workload all planning-share one pulse
+    optimization.
+
+    Attributes
+    ----------
+    device : str
+        Fake-device name.
+    gate : str
+        Interleaved Clifford gate name (``x``, ``sx``, ``h``, ``cx``).
+    qubits : tuple of int
+        Benchmarked physical qubits.
+    lengths, n_seeds, shots, seed
+        As in :class:`~repro.benchmarking.irb.InterleavedRBExperiment`.
+    calibration : GRAPESpec, optional
+        Custom pulse for the interleaved gate (``None`` = default gate).
+    engine : str
+        ``"channels"`` or ``"circuits"``.
+    num_workers : int, optional
+        Per-experiment process fan-out; ``None`` inherits the session's.
+    """
+
+    kind: ClassVar[str] = "irb"
+
+    device: str = "montreal"
+    gate: str = "x"
+    qubits: tuple[int, ...] = (0,)
+    lengths: tuple[int, ...] | None = None
+    n_seeds: int = 3
+    shots: int = 512
+    seed: int | None = None
+    calibration: GRAPESpec | None = None
+    engine: str = "channels"
+    num_workers: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _int_tuple(self.qubits))
+        if self.lengths is not None:
+            object.__setattr__(self, "lengths", _int_tuple(self.lengths))
+        if len(self.qubits) not in (1, 2):
+            raise ValidationError(f"IRB supports 1 or 2 qubits, got {self.qubits}")
+        if self.calibration is not None and not isinstance(self.calibration, GRAPESpec):
+            raise ValidationError(
+                f"calibration must be a GRAPESpec or None, got {type(self.calibration).__name__}"
+            )
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        payload["qubits"] = _int_tuple(payload.get("qubits", (0,)))
+        if payload.get("lengths") is not None:
+            payload["lengths"] = _int_tuple(payload["lengths"])
+        if payload.get("calibration") is not None:
+            payload["calibration"] = GRAPESpec.from_dict(payload["calibration"])
+        return payload
+
+
+@dataclass(frozen=True)
+class SweepSpec(ExperimentSpec):
+    """Grid sweep over any fields of a base spec.
+
+    ``grid`` maps field names of ``base`` to value tuples; :meth:`expand`
+    yields one concrete spec per grid point (Cartesian product, fields
+    varying in ``grid`` insertion order, last field fastest).  Useful for
+    length scans, seed ensembles, drift-snapshot sweeps or gate-set
+    comparisons — and because the expansion is just specs, the session
+    planner dedupes shared preparation across the whole grid.
+
+    Attributes
+    ----------
+    base : ExperimentSpec
+        The spec each grid point is derived from (not a ``SweepSpec``).
+    grid : tuple of (str, tuple) pairs
+        Field name → values.  Constructor also accepts a ``dict``.
+    """
+
+    kind: ClassVar[str] = "sweep"
+
+    base: ExperimentSpec = None  # type: ignore[assignment]
+    grid: tuple[tuple[str, tuple], ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.base, ExperimentSpec) or isinstance(self.base, SweepSpec):
+            raise ValidationError("SweepSpec.base must be a concrete (non-sweep) spec")
+        grid = self.grid
+        if isinstance(grid, dict):
+            grid = tuple((name, tuple(values)) for name, values in grid.items())
+        else:
+            grid = tuple((name, tuple(values)) for name, values in grid)
+        if not grid:
+            raise ValidationError("SweepSpec.grid must name at least one field")
+        base_fields = {f.name for f in fields(self.base)}
+        for name, values in grid:
+            if name not in base_fields:
+                raise ValidationError(
+                    f"SweepSpec.grid names unknown field {name!r} of {self.base.kind!r}"
+                )
+            if not values:
+                raise ValidationError(f"SweepSpec.grid field {name!r} has no values")
+        object.__setattr__(self, "grid", grid)
+
+    def to_dict(self) -> dict:
+        """Serialize with the base spec nested and the grid as pairs."""
+        return {
+            "kind": self.kind,
+            "base": self.base.to_dict(),
+            "grid": [[name, [_jsonify(v) for v in values]] for name, values in self.grid],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Rebuild a sweep (and its nested base spec) from dict form."""
+        base = spec_from_dict(data["base"])
+        grid = tuple(
+            (name, tuple(tuple(v) if isinstance(v, list) else v for v in values))
+            for name, values in data["grid"]
+        )
+        return cls(base=base, grid=grid)
+
+    def expand(self) -> list[ExperimentSpec]:
+        """Concrete specs of every grid point (Cartesian product)."""
+        names = [name for name, _ in self.grid]
+        axes = [values for _, values in self.grid]
+        out: list[ExperimentSpec] = []
+        for point in itertools.product(*axes):
+            out.append(replace(self.base, **dict(zip(names, point))))
+        return out
+
+    def __len__(self) -> int:
+        """Number of grid points."""
+        total = 1
+        for _, values in self.grid:
+            total *= len(values)
+        return total

@@ -33,7 +33,8 @@ from .validation import (
     check_in_range,
 )
 from .seeding import default_rng, spawn_rngs, stable_hash_seed
-from .parallel import parallel_map
+from .parallel import parallel_map, pool_start_method, shutdown_pool
+from .locks import FileLock
 
 __all__ = [
     "is_hermitian",
@@ -62,4 +63,7 @@ __all__ = [
     "spawn_rngs",
     "stable_hash_seed",
     "parallel_map",
+    "pool_start_method",
+    "shutdown_pool",
+    "FileLock",
 ]

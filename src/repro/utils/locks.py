@@ -1,0 +1,144 @@
+"""Cross-process advisory file locks.
+
+The persistent Clifford store (:mod:`repro.benchmarking.store`) is shared
+between every process of a ``num_workers`` fan-out — and, on a busy machine,
+between entirely unrelated sessions pointing at the same cache directory.
+Its writers are already crash-safe (tmp file + atomic rename), but without
+mutual exclusion many *cold* workers racing on one key each rebuild the same
+channels and then serialize last-writer-wins merges of bit-identical data.
+
+:class:`FileLock` provides the missing primitive: a small advisory lock
+built on ``fcntl.flock`` (POSIX) or ``msvcrt.locking`` (Windows).  It is
+advisory — only cooperating writers that take the lock are serialized;
+readers never block (they continue to rely on the atomic-rename publication
+protocol).
+
+Usage::
+
+    from repro.utils.locks import FileLock
+
+    with FileLock(path_to_resource.with_suffix(".lock")):
+        ...  # read-modify-write the resource
+
+The lock file itself is left in place (removing it would race new
+acquirers); it is a zero-byte sentinel next to the resource it guards.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["FileLock"]
+
+try:  # POSIX
+    import fcntl
+
+    def _lock_fd(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+    def _unlock_fd(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+except ImportError:  # pragma: no cover - Windows
+    import errno
+    import time
+
+    import msvcrt
+
+    #: Errnos msvcrt.locking raises when the region is merely *contended*
+    #: (safe to retry); anything else is a real failure to surface.
+    _CONTENTION_ERRNOS = frozenset(
+        code
+        for code in (
+            getattr(errno, "EACCES", None),
+            getattr(errno, "EDEADLK", None),
+            getattr(errno, "EDEADLOCK", None),
+        )
+        if code is not None
+    )
+
+    def _lock_fd(fd: int) -> None:
+        # lock one byte at offset 0. LK_LOCK is NOT indefinitely blocking:
+        # it retries once per second for ~10 attempts and then raises
+        # OSError, so loop until acquired to honour acquire()'s blocking
+        # contract — a contending writer may legitimately hold the lock
+        # for longer than 10 s while serializing a large channel table.
+        # Only contention errnos are retried (with a pause, so a stream of
+        # immediate failures cannot hot-spin); real errors propagate.
+        os.lseek(fd, 0, os.SEEK_SET)
+        while True:
+            try:
+                msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+                return
+            except OSError as exc:
+                if exc.errno not in _CONTENTION_ERRNOS:
+                    raise
+                time.sleep(0.05)
+
+    def _unlock_fd(fd: int) -> None:
+        os.lseek(fd, 0, os.SEEK_SET)
+        msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+
+
+class FileLock:
+    """Advisory, blocking, cross-process file lock (context manager).
+
+    Parameters
+    ----------
+    path : str or Path
+        Lock-file path.  Parent directories are created on first acquire;
+        the file itself is a zero-byte sentinel that persists after release
+        (unlinking it would hand a second process a lock on a dead inode).
+
+    Notes
+    -----
+    * The lock is **per open file description**, so one :class:`FileLock`
+      instance must not be shared between threads; create one per acquire
+      scope (they are cheap).  It is not re-entrant.
+    * ``fork()``'d children inherit the descriptor but acquiring in the
+      child opens a fresh one, so parent/child exclusion works as expected.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    def acquire(self) -> "FileLock":
+        """Block until the lock is held; returns ``self`` for chaining."""
+        if self._fd is not None:
+            raise RuntimeError(f"FileLock({self.path}) is not re-entrant")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            _lock_fd(fd)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        """Release the lock (no-op when not held)."""
+        if self._fd is None:
+            return
+        try:
+            _unlock_fd(self._fd)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._fd is not None
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "held" if self.held else "released"
+        return f"FileLock({str(self.path)!r}, {state})"

@@ -19,33 +19,115 @@ also keep their process-local caches — notably the memory-mapped channel
 tables of :mod:`repro.benchmarking.store` — warm across calls.  Call
 :func:`shutdown_pool` to reclaim the workers explicitly (an ``atexit`` hook
 does it at interpreter exit).
+
+**Start methods.**  The pool honours the multiprocessing *start method*
+selected by ``$REPRO_MP_START`` (``fork`` | ``spawn`` | ``forkserver``; the
+platform default when unset).  ``fork`` is fastest but Linux-only in
+practice; ``spawn`` — the only method on Windows and the default on macOS —
+re-imports the worker interpreter from scratch, so workers receive no
+forked module state.  Everything the RB engine ships to workers is
+picklable by construction (module-level functions, frozen dataclass
+contexts, :class:`~repro.benchmarking.store.ChannelTableHandle` instead of
+live memory maps), and a spawn-context **initializer** re-applies the
+parent's ``REPRO_*`` environment knobs (store directory, smoke flags) in
+each fresh worker so path resolution matches the parent.  CI runs a matrix
+leg with ``REPRO_MP_START=spawn`` to keep this path green.
 """
 
 from __future__ import annotations
 
 import atexit
+import multiprocessing as mp
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "available_workers", "auto_chunksize", "shutdown_pool"]
+__all__ = [
+    "parallel_map",
+    "available_workers",
+    "auto_chunksize",
+    "shutdown_pool",
+    "pool_start_method",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: The persistent executor and the worker count it was created with.
+_START_METHODS = ("fork", "spawn", "forkserver")
+
+#: The persistent executor and the (worker count, start method) it was
+#: created with — a changed count *or* a changed ``$REPRO_MP_START`` rolls
+#: the pool.
 _POOL: ProcessPoolExecutor | None = None
-_POOL_WORKERS: int = 0
+_POOL_KEY: tuple[int, str] | None = None
+
+
+def pool_start_method() -> str:
+    """The multiprocessing start method the pool will use.
+
+    ``$REPRO_MP_START`` when set (``fork`` | ``spawn`` | ``forkserver``),
+    else the platform default (``fork`` on Linux, ``spawn`` on macOS and
+    Windows).
+
+    Raises
+    ------
+    ValueError
+        If ``$REPRO_MP_START`` names an unknown or unavailable method.
+    """
+    env = os.environ.get("REPRO_MP_START")
+    if not env:
+        return mp.get_start_method()
+    method = env.strip().lower()
+    if method not in _START_METHODS:
+        raise ValueError(
+            f"REPRO_MP_START must be one of {_START_METHODS}, got {env!r}"
+        )
+    if method not in mp.get_all_start_methods():
+        raise ValueError(
+            f"start method {method!r} is not available on this platform "
+            f"(available: {mp.get_all_start_methods()})"
+        )
+    return method
+
+
+def _propagated_environment() -> dict[str, str]:
+    """The ``REPRO_*`` knobs a spawned worker must see (snapshot)."""
+    return {key: value for key, value in os.environ.items() if key.startswith("REPRO_")}
+
+
+def _worker_init(environment: dict[str, str]) -> None:
+    """Default pool initializer: re-apply the parent's ``REPRO_*`` knobs.
+
+    Under ``fork`` the child inherits the environment anyway and this is a
+    no-op rewrite; under ``spawn``/``forkserver`` it guarantees the worker
+    resolves the same store directory, smoke flags and optimizer caps as
+    the parent even when those were set *after* interpreter startup via
+    ``os.environ`` assignment (which ``spawn`` does not replay).
+    """
+    for key in [k for k in os.environ if k.startswith("REPRO_") and k not in environment]:
+        del os.environ[key]
+    os.environ.update(environment)
+
+
+def _make_pool(num_workers: int, start_method: str) -> ProcessPoolExecutor:
+    """Create an executor bound to an explicit start-method context."""
+    return ProcessPoolExecutor(
+        max_workers=num_workers,
+        mp_context=mp.get_context(start_method),
+        initializer=_worker_init,
+        initargs=(_propagated_environment(),),
+    )
 
 
 def _get_pool(num_workers: int) -> ProcessPoolExecutor:
-    """The persistent executor, (re)created when the worker count changes."""
-    global _POOL, _POOL_WORKERS
-    if _POOL is None or _POOL_WORKERS != num_workers:
+    """The persistent executor, (re)created when count or method changes."""
+    global _POOL, _POOL_KEY
+    key = (num_workers, pool_start_method())
+    if _POOL is None or _POOL_KEY != key:
         shutdown_pool()
-        _POOL = ProcessPoolExecutor(max_workers=num_workers)
-        _POOL_WORKERS = num_workers
+        _POOL = _make_pool(*key)
+        _POOL_KEY = key
     return _POOL
 
 
@@ -55,11 +137,11 @@ def shutdown_pool() -> None:
     Safe to call at any time; the next ``parallel_map`` with
     ``num_workers > 1`` transparently starts a fresh pool.
     """
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_KEY
     if _POOL is not None:
         _POOL.shutdown(wait=False, cancel_futures=True)
         _POOL = None
-        _POOL_WORKERS = 0
+        _POOL_KEY = None
 
 
 atexit.register(shutdown_pool)
@@ -99,7 +181,8 @@ def parallel_map(
     ----------
     func:
         Callable applied to each item.  Must be picklable when
-        ``num_workers > 1``.
+        ``num_workers > 1`` — under the ``spawn`` start method that means a
+        module-level function (lambdas and closures only survive ``fork``).
     items:
         Iterable of inputs.
     num_workers:
@@ -119,6 +202,14 @@ def parallel_map(
     -------
     list
         Results in the same order as ``items``.
+
+    Notes
+    -----
+    The pool's start method follows ``$REPRO_MP_START`` (see
+    :func:`pool_start_method`); changing it between calls transparently
+    rolls the persistent pool.  Every worker runs the default initializer,
+    which re-applies the parent's ``REPRO_*`` environment so spawned
+    workers resolve the same persistent-store root as the parent.
     """
     items = list(items)
     if num_workers is None:
@@ -131,7 +222,7 @@ def parallel_map(
         chunksize = auto_chunksize(len(items), num_workers)
     chunksize = max(1, chunksize)
     if not reuse_pool:
-        with ProcessPoolExecutor(max_workers=num_workers) as pool:
+        with _make_pool(num_workers, pool_start_method()) as pool:
             return list(pool.map(func, items, chunksize=chunksize))
     try:
         return list(_get_pool(num_workers).map(func, items, chunksize=chunksize))

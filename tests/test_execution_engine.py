@@ -328,5 +328,86 @@ class TestParallelMap:
         assert parallel_map(_square, items, num_workers=2) == [i * i for i in items]
 
 
+class TestStartMethods:
+    """The spawn-safe pool path (``$REPRO_MP_START``)."""
+
+    def test_default_follows_platform(self, monkeypatch):
+        import multiprocessing
+
+        from repro.utils.parallel import pool_start_method
+
+        monkeypatch.delenv("REPRO_MP_START", raising=False)
+        assert pool_start_method() == multiprocessing.get_start_method()
+
+    def test_invalid_method_rejected(self, monkeypatch):
+        from repro.utils.parallel import pool_start_method
+
+        monkeypatch.setenv("REPRO_MP_START", "teleport")
+        with pytest.raises(ValueError):
+            pool_start_method()
+
+    def test_spawn_pool_maps_correctly(self, monkeypatch):
+        """A spawn-context pool works end-to-end (the macOS/Windows path)."""
+        import multiprocessing
+
+        from repro.utils import parallel
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn unavailable")
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        parallel.shutdown_pool()
+        try:
+            assert parallel.pool_start_method() == "spawn"
+            out = parallel_map(_square, [1, 2, 3, 4], num_workers=2)
+            assert out == [1, 4, 9, 16]
+            # the persistent pool is keyed by (workers, method)
+            assert parallel._POOL_KEY == (2, "spawn")
+        finally:
+            parallel.shutdown_pool()
+
+    def test_changing_method_rolls_the_pool(self, monkeypatch):
+        import multiprocessing
+
+        from repro.utils import parallel
+
+        methods = multiprocessing.get_all_start_methods()
+        if "spawn" not in methods or "fork" not in methods:
+            pytest.skip("needs both fork and spawn")
+        parallel.shutdown_pool()
+        try:
+            monkeypatch.setenv("REPRO_MP_START", "fork")
+            parallel_map(_square, [1, 2], num_workers=2)
+            fork_pool = parallel._POOL
+            monkeypatch.setenv("REPRO_MP_START", "spawn")
+            parallel_map(_square, [1, 2], num_workers=2)
+            assert parallel._POOL is not fork_pool
+            assert parallel._POOL_KEY == (2, "spawn")
+        finally:
+            parallel.shutdown_pool()
+
+    def test_spawn_worker_sees_repro_environment(self, monkeypatch):
+        """The initializer re-applies REPRO_* knobs in spawned workers."""
+        import multiprocessing
+
+        from repro.utils import parallel
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn unavailable")
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        monkeypatch.setenv("REPRO_TEST_SENTINEL", "42")
+        parallel.shutdown_pool()
+        try:
+            out = parallel_map(_read_sentinel, [0, 1], num_workers=2)
+            assert out == ["42", "42"]
+        finally:
+            parallel.shutdown_pool()
+
+
 def _square(x):
     return x * x
+
+
+def _read_sentinel(_):
+    import os
+
+    return os.environ.get("REPRO_TEST_SENTINEL")
