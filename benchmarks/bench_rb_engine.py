@@ -26,6 +26,13 @@ backend and a single Clifford channel-table build (asserted via the store's
 write counters), versus the legacy pattern of three standalone experiments
 each rebuilding their own.  The session must be measurably faster and
 bit-identical.
+
+``test_rb_result_cache`` benchmarks the result cache: the Fig. 3 custom-X
+IRB spec is run cold through one session (GRAPE optimization + channel
+table + execution, all published to the store), then re-submitted through a
+fresh session over the same store root.  The warm replay must be a pure
+cache hit — zero prep builds, zero executions, ≥20× faster than cold — and
+its payload must be bit-identical to the cold run.
 """
 
 import os
@@ -39,7 +46,7 @@ from repro.benchmarking import store as store_module
 from repro.benchmarking.clifford import CliffordGroup, clifford_group
 from repro.circuits.gate import Gate
 from repro.devices import fake_montreal
-from repro.session import IRBSpec, Session
+from repro.session import GRAPESpec, IRBSpec, Session
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -259,6 +266,84 @@ def test_rb_session_shared_prep(benchmark, save_results, bench_metrics, tmp_path
         "table_writes": data["table_writes"],
     }
     save_results("rb_session", data)
+
+
+def _result_cache_cold_vs_warm(root) -> dict:
+    """The Fig. 3 custom-X IRB spec: cold session vs warm cached replay."""
+    if SMOKE:
+        calibration = GRAPESpec(
+            device="montreal", gate="x", qubits=(0,), duration_ns=56.0, n_ts=8,
+            include_decoherence=False, max_iter=40, seed=2022,
+        )
+        spec = IRBSpec(
+            device="montreal", gate="x", qubits=(0,), lengths=(1, 4, 8),
+            n_seeds=2, shots=100, seed=2022, calibration=calibration,
+        )
+    else:
+        from repro.experiments.figures import fig3_specs
+
+        spec = fig3_specs()["custom_irb"]
+
+    cold_store = CliffordChannelStore(root)
+    start = time.perf_counter()
+    with Session(store=cold_store, num_workers=1) as session:
+        cold = session.run(spec)
+        cold_stats = dict(session.stats)
+    cold_wall = time.perf_counter() - start
+
+    # a warm session: fresh store object and process-local mmap cache
+    # dropped, so the replay pays the real manifest + JSON read costs a
+    # new process would pay
+    store_module._OPEN_TABLES.clear()
+    warm_store = CliffordChannelStore(root)
+    start = time.perf_counter()
+    with Session(store=warm_store, num_workers=1) as session:
+        warm = session.run(spec)
+        warm_stats = dict(session.stats)
+    warm_wall = time.perf_counter() - start
+
+    payload_identical = warm.payload_fingerprint() == cold.payload_fingerprint()
+    return {
+        "cold_wall_clock_s": cold_wall,
+        "warm_wall_clock_s": warm_wall,
+        "result_cache_speedup": cold_wall / warm_wall,
+        "payload_abs_diff": 0.0 if payload_identical else 1.0,
+        "cache_hit": bool(warm.provenance.get("cache_hit")),
+        "cold_executions": cold_stats["executions"],
+        "warm_executions": warm_stats["executions"],
+        "warm_prep_builds": warm_stats["prep_builds"],
+        "warm_table_writes": warm_store.stats["table_writes"],
+        "warm_result_hits": warm_store.namespace_stats("results")["hits"],
+        "cold_result_writes": cold_store.namespace_stats("results")["writes"],
+        "cold_pulse_writes": cold_store.namespace_stats("pulses")["writes"],
+    }
+
+
+def test_rb_result_cache(benchmark, save_results, bench_metrics, tmp_path):
+    data = benchmark.pedantic(
+        _result_cache_cold_vs_warm, args=(tmp_path / "store",), rounds=1, iterations=1
+    )
+    # correctness: the warm replay is a pure hit with a bit-identical payload
+    assert data["payload_abs_diff"] == 0.0
+    assert data["cache_hit"] is True
+    assert data["cold_executions"] == 1
+    assert data["warm_executions"] == 0
+    assert data["warm_prep_builds"] == 0
+    assert data["warm_table_writes"] == 0
+    assert data["warm_result_hits"] == 1
+    assert data["cold_result_writes"] == 1
+    if not SMOKE:
+        # acceptance: the cached fig3 spec replays >=20x faster than cold
+        assert data["result_cache_speedup"] >= 20.0, (
+            f"result-cache speedup regressed: {data['result_cache_speedup']:.1f}x"
+        )
+    bench_metrics["rb_result_cache"] = {
+        "cold_wall_clock_s": data["cold_wall_clock_s"],
+        "warm_wall_clock_s": data["warm_wall_clock_s"],
+        "result_cache_speedup": data["result_cache_speedup"],
+        "payload_abs_diff": data["payload_abs_diff"],
+    }
+    save_results("rb_result_cache", data)
 
 
 def test_rb_store_cold_vs_warm(benchmark, save_results, bench_metrics, tmp_path):

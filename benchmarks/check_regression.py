@@ -17,6 +17,10 @@ Checks performed (exit code 1 on any failure):
     ``speedup`` keys only,
   - keys containing ``abs_diff`` must stay below ``1e-6`` (engine
     equivalence),
+  - a baseline key ending in ``_floor`` imposes a machine-independent
+    **absolute floor** on the same-named current metric (e.g.
+    ``result_cache_speedup_floor: 20`` fails any run whose
+    ``result_cache_speedup`` drops below 20, regardless of tolerance),
   - other numeric metric keys are compared with ``±tolerance`` relative,
 * every **wall-clock** entry present in both files is compared with
   ``±tolerance`` relative (faster is allowed).  Raw wall clock is strongly
@@ -126,7 +130,25 @@ def main(argv=None) -> int:
             failures.append(f"metrics[{bench}]: missing from current run")
             continue
         for key, base_val in base_metrics.items():
-            if not isinstance(base_val, (int, float)) or key not in cur_metrics:
+            if not isinstance(base_val, (int, float)):
+                continue
+            if key.endswith("_floor"):
+                # machine-independent acceptance floor on the same-named metric
+                target = key[: -len("_floor")]
+                current_value = cur_metrics.get(target)
+                if not isinstance(current_value, (int, float)):
+                    # a floored metric that vanished means the acceptance
+                    # gate silently stopped running — that is a failure
+                    failures.append(
+                        f"metrics[{bench}].{target}: floored metric missing from current run"
+                    )
+                elif current_value < base_val:
+                    failures.append(
+                        f"metrics[{bench}].{target}: {current_value:.2f} below the "
+                        f"acceptance floor {base_val:.2f}"
+                    )
+                continue
+            if key not in cur_metrics:
                 continue
             message = _compare_value(
                 f"metrics[{bench}].{key}",

@@ -22,6 +22,11 @@ built from scratch on NumPy/SciPy:
                         specs, the cross-experiment planner and the
                         :class:`~repro.session.session.Session` submission
                         surface (see docs/sessions.md)
+* ``repro.store``     — the unified content-addressed artifact store:
+                        channel tables, group enumerations, persisted
+                        GRAPE pulses and the spec-fingerprint result
+                        cache, with a ``python -m repro.store``
+                        maintenance CLI (see docs/caching.md)
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
@@ -39,6 +44,7 @@ __all__ = [
     "core",
     "experiments",
     "session",
+    "store",
     "utils",
     "__version__",
 ]

@@ -21,9 +21,10 @@ calibrated gates.  This package implements the full stack from scratch:
 * :mod:`~repro.benchmarking.tableau` — the symplectic-tableau Clifford
   composer: composition and inversion as integer arithmetic on packed
   binary tableaux instead of matrix products,
-* :mod:`~repro.benchmarking.store` — the persistent, content-addressed
-  on-disk store of per-Clifford channel tables (memory-mapped, shared
-  read-only across worker processes) and group enumerations, with a
+* :mod:`~repro.benchmarking.store` — the legacy-named facade over the
+  unified content-addressed artifact store (:mod:`repro.store`): channel
+  tables (memory-mapped, shared read-only across worker processes), group
+  enumerations, persisted GRAPE pulses and the result cache, with a
   ``store="auto" | path | None`` knob on the experiments.
 """
 

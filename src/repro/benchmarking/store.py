@@ -1,63 +1,39 @@
-"""Persistent, content-addressed store for Clifford channel tables and groups.
+"""Compatibility facade over the unified artifact store.
 
-The batched RB engine (PR 1) made per-sequence composition cheap, but every
-*session* still paid two fixed costs: enumerating the two-qubit Clifford
-group (~2 s of breadth-first search) and transpiling + composing a channel
-per group element (~2.2 ms × up to 11520 elements).  This module amortizes
-both across sessions and across ``num_workers`` processes:
+The persistent Clifford channel/group store introduced in PR 2 grew into
+the generic content-addressed :class:`~repro.store.ArtifactStore` (see
+:mod:`repro.store`): one on-disk root with four typed namespaces —
+``channel_tables``, ``groups``, ``pulses`` and ``results`` — sharing
+atomic publication, per-key advisory writer locks, manifest generations,
+per-namespace counters and a single ``prune()`` policy.
 
-* **Channel tables** are stored on disk as raw ``.npy`` arrays keyed by a
-  content hash of everything the channels depend on (backend properties
-  fingerprint, physical qubits, simulation options, the calibration
-  schedules involved, and the store format version).  Readers open them
-  **memory-mapped and read-only**, so a warm session — and every worker
-  process of a ``num_workers`` fan-out — shares one kernel page-cache copy
-  of the table instead of rebuilding (or pickling) it.
-* **Group tables** (generator words, element matrices, tableaux — see
-  :meth:`CliffordGroup.to_arrays <repro.benchmarking.clifford.CliffordGroup.to_arrays>`)
-  are stored once per qubit count, so warm sessions skip the BFS.
+This module keeps the historical import surface alive:
 
-Content addressing *is* the invalidation contract: any drift in the backend
-properties (or a changed calibration schedule, or a format bump) changes the
-key, so stale channels are never served — they are simply never looked up
-again.  Old entries are left in place; ``prune()`` removes everything but
-the newest generation of each key.
+* :class:`CliffordChannelStore` subclasses :class:`ArtifactStore` and
+  preserves the PR 2/3 observable API — the flat :attr:`stats` keys
+  (``table_writes``, ``table_write_skips``, ``elements_written``,
+  ``group_writes``) and the module-level :data:`STORE_FORMAT_VERSION` /
+  :data:`GROUP_FORMAT_VERSION` constants (which remain patchable here, as
+  the invalidation tests rely on);
+* :class:`~repro.store.channels.ChannelTableHandle`,
+  :func:`~repro.store.core.default_store_root` and :func:`resolve_store`
+  are re-exported unchanged (``resolve_store`` here instantiates the
+  facade class, so legacy callers keep receiving a
+  :class:`CliffordChannelStore`).
 
-Writers are crash- and race-safe by construction: array files are written
-under unique temporary names and published by an atomic ``os.replace`` of
-the small JSON manifest that names the current generation.  Writers of the
-same key additionally serialize on a cross-process advisory lock
-(:class:`~repro.utils.locks.FileLock`), so racing cold workers merge into
-one generation instead of publishing last-writer-wins overwrites — a
-writer that finds every one of its elements already on disk skips the
-write entirely.  Readers never take the lock: they keep relying on the
-atomic-rename protocol, and one holding an older memory map keeps a valid
-(POSIX) file handle.  Per-instance :attr:`CliffordChannelStore.stats`
-counters (``table_writes``, ``table_write_skips``, ``elements_written``,
-``group_writes``) expose exactly how much work a session's writers did —
-the session planner's tests assert shared tables are built exactly once
-through them.
-
-The user-facing knob is ``store="auto" | path | None`` (see
-:func:`resolve_store`), accepted by the RB/IRB experiments, the execution
-engine, the figure drivers and :class:`~repro.backend.backend.PulseBackend`.
+New code should import from :mod:`repro.store` directly; the on-disk
+layout is identical either way, so stores written through one surface are
+read through the other.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import time
-import uuid
-import zipfile
-from dataclasses import dataclass
-from pathlib import Path
-
-import numpy as np
-
-from ..utils.locks import FileLock
-from ..utils.validation import ValidationError
+from ..store import ArtifactStore
+from ..store import resolve_store as _resolve_store
+from ..store.channels import _OPEN_TABLES, ChannelTableHandle  # noqa: F401  (legacy re-export)
+from ..store.channels import STORE_FORMAT_VERSION
+from ..store.core import default_store_root  # noqa: F401  (legacy re-export)
+from ..store.groups import GROUP_FORMAT_VERSION
 
 __all__ = [
     "STORE_FORMAT_VERSION",
@@ -68,447 +44,70 @@ __all__ = [
     "resolve_store",
 ]
 
-#: Bump to invalidate every on-disk entry after an incompatible change to
-#: the channel pipeline or the stored layouts.
-STORE_FORMAT_VERSION = 1
 
-#: Versions the group-enumeration files independently of the channel
-#: tables (which key on :data:`STORE_FORMAT_VERSION`), so a change to the
-#: group payload never invalidates channel entries.  v2: slim payload —
-#: generator words + tableaux only; element matrices are re-derived
-#: bit-identically from the words on load.  Readers of the v1 layout
-#: (with embedded matrices) keep their own ``_v1`` files untouched.
-GROUP_FORMAT_VERSION = 2
-
-#: Process-local cache of opened memory-mapped tables, keyed by
-#: ``(root, key, ids_file)`` so a merged (renamed) generation is re-opened.
-_OPEN_TABLES: dict[tuple[str, str, str], tuple[np.ndarray, np.ndarray]] = {}
-
-
-def default_store_root() -> Path:
-    """Default on-disk location of the persistent store.
-
-    ``$REPRO_STORE_DIR`` when set, else ``$XDG_CACHE_HOME/repro/store``,
-    else ``~/.cache/repro/store``.
-    """
-    env = os.environ.get("REPRO_STORE_DIR")
-    if env:
-        return Path(env)
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = Path(xdg) if xdg else Path.home() / ".cache"
-    return base / "repro" / "store"
-
-
-def resolve_store(store) -> "CliffordChannelStore | None":
-    """Resolve the user-facing ``store`` knob to a store instance (or None).
-
-    Parameters
-    ----------
-    store : None, False, "auto", str, Path or CliffordChannelStore
-        ``None`` / ``False`` disable persistence, ``"auto"`` selects
-        :func:`default_store_root`, a path selects that directory, and an
-        existing store instance is passed through.
-
-    Returns
-    -------
-    CliffordChannelStore or None
-        The resolved store.
-    """
-    if store is None or store is False:
-        return None
-    if isinstance(store, CliffordChannelStore):
-        return store
-    if store == "auto":
-        return CliffordChannelStore(default_store_root())
-    if isinstance(store, (str, Path)):
-        return CliffordChannelStore(store)
-    raise ValidationError(
-        f"store must be None, False, 'auto', a path or a CliffordChannelStore, got {store!r}"
-    )
-
-
-def _atomic_write(path: Path, writer) -> None:
-    """Publish a file atomically: ``writer(binary_fh)`` to a tmp, then rename."""
-    tmp = path.with_name(path.name + f".tmp-{uuid.uuid4().hex[:8]}")
-    try:
-        with open(tmp, "wb") as fh:
-            writer(fh)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
-
-
-def _atomic_save_array(path: Path, array: np.ndarray) -> None:
-    """Write an ``.npy`` file atomically (tmp file + rename)."""
-    _atomic_write(path, lambda fh: np.save(fh, array))
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write a text file atomically (tmp file + rename)."""
-    _atomic_write(path, lambda fh: fh.write(text.encode()))
-
-
-@dataclass(frozen=True)
-class ChannelTableHandle:
-    """Picklable reference to one on-disk channel-table generation.
-
-    Worker processes receive this instead of a pickled channel dictionary:
-    each process memory-maps the referenced arrays once (cached per process)
-    and the operating system shares the physical pages between every reader,
-    so an n-worker fan-out holds **one** copy of the table instead of n+1.
-
-    Attributes
-    ----------
-    root : str
-        Store root directory.
-    key : str
-        Content-address of the table.
-    ids_file, channels_file : str
-        Basenames of the generation's element-id and channel arrays.
-    """
-
-    root: str
-    key: str
-    ids_file: str
-    channels_file: str
-
-    def table(self) -> tuple[np.ndarray, np.ndarray]:
-        """The ``(element_ids, channels)`` arrays, memory-mapped read-only."""
-        cache_key = (self.root, self.key, self.ids_file)
-        cached = _OPEN_TABLES.get(cache_key)
-        if cached is None:
-            directory = Path(self.root) / "channels"
-            ids = np.load(directory / self.ids_file)
-            channels = np.load(directory / self.channels_file, mmap_mode="r")
-            if len(ids) != len(channels):
-                raise ValidationError(
-                    f"corrupt channel table {self.key}: {len(ids)} ids vs {len(channels)} channels"
-                )
-            # evict superseded generations of the same table so long
-            # sessions of incremental flushes hold one mapping per key
-            for stale in [k for k in _OPEN_TABLES if k[:2] == cache_key[:2]]:
-                del _OPEN_TABLES[stale]
-            cached = (ids, channels)
-            _OPEN_TABLES[cache_key] = cached
-        return cached
-
-    def channel(self, element_index: int) -> np.ndarray:
-        """Channel of one Clifford element (read-only memory-mapped view)."""
-        ids, channels = self.table()
-        pos = int(np.searchsorted(ids, element_index))
-        if pos >= len(ids) or ids[pos] != element_index:
-            raise KeyError(f"element {element_index} is not in channel table {self.key}")
-        return channels[pos]
-
-
-class CliffordChannelStore:
-    """On-disk, content-addressed cache of Clifford channel and group tables.
+class CliffordChannelStore(ArtifactStore):
+    """Legacy-named artifact store with the PR 2/3 observable surface.
 
     Parameters
     ----------
     root : str or Path
-        Directory holding the store (created on first write).  Layout::
-
-            <root>/channels/<key>.json            manifest -> current arrays
-            <root>/channels/<key>-<n>-<tok>.*.npy array generations
-            <root>/groups/clifford_<n>q_v<V>.npz  enumerated groups
+        Directory holding the store (created on first write).
 
     Notes
     -----
-    Keys are content hashes (see :meth:`channel_table_key`), so a drifted
-    calibration snapshot produces a *different* key rather than invalidating
-    entries in place — the old table stays valid for the old snapshot.
+    Everything — channel tables, groups, pulses, results — is inherited
+    from :class:`~repro.store.ArtifactStore`; this subclass only pins the
+    historical counter names and lets tests monkeypatch this module's
+    format-version constants.
     """
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
-        #: Per-instance write counters: ``table_writes`` (array generations
-        #: published), ``table_write_skips`` (saves that found every element
-        #: already on disk under the writer lock and published nothing),
-        #: ``elements_written`` (channels newly added to disk) and
-        #: ``group_writes`` (group enumerations persisted).  Purely
-        #: observational — used by tests and the session planner benchmarks
-        #: to prove shared preparation happens exactly once.
-        self.stats: dict[str, int] = {
-            "table_writes": 0,
-            "table_write_skips": 0,
-            "elements_written": 0,
-            "group_writes": 0,
-        }
+    @classmethod
+    def _channel_format_version(cls) -> int:
+        """Channel-table format version (reads this module's constant)."""
+        return STORE_FORMAT_VERSION
+
+    @classmethod
+    def _group_format_version(cls) -> int:
+        """Group-file format version (reads this module's constant)."""
+        return GROUP_FORMAT_VERSION
 
     def __repr__(self) -> str:
         return f"CliffordChannelStore(root={str(self.root)!r})"
 
-    def _lock(self, name: str) -> FileLock:
-        """Advisory cross-process lock scoped to one store resource."""
-        return FileLock(self.root / "locks" / f"{name}.lock")
+    @property
+    def stats(self) -> dict[str, int]:
+        """Flat per-instance write counters (the historical PR 2/3 view).
 
-    # ------------------------------------------------------------------ #
-    # keys
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def channel_table_key(backend, physical_qubits, group) -> str:
-        """Content-address of a backend + qubit-set channel table.
-
-        The key digests every input the per-element channels depend on:
-
-        * the backend **properties fingerprint** (qubit frequencies, T1/T2,
-          gate errors, coupling, … — see
-          :meth:`BackendProperties.fingerprint
-          <repro.devices.properties.BackendProperties.fingerprint>`),
-        * the **physical qubit tuple** (order matters: it fixes the
-          local-to-physical mapping of every Clifford word),
-        * the **simulation options** (level counts, decoherence, resampling),
-        * the **calibration schedules** of every instruction-schedule-map
-          entry acting inside the qubit set (content fingerprints, so an
-          overridden default calibration busts the key),
-        * the group order and the store format version.
-
-        Any drift in the calibration snapshot therefore yields a fresh key —
-        the persistent analogue of the in-memory cache invalidation
-        performed by ``PulseBackend._check_cache_freshness``.
+        ``table_writes`` / ``table_write_skips`` / ``elements_written``
+        map onto the ``channel_tables`` namespace counters and
+        ``group_writes`` onto the ``groups`` namespace; the full
+        per-namespace counters (including the pulse and result caches) are
+        available via :meth:`~repro.store.core.StoreCore.namespace_stats`.
         """
-        qubits = tuple(int(q) for q in physical_qubits)
-        qubit_set = set(qubits)
-        schedule_entries = [
-            (name, entry_qubits, schedule.fingerprint())
-            for name, entry_qubits, schedule in backend.instruction_schedule_map.entries()
-            if set(entry_qubits) <= qubit_set
-        ]
-        payload = json.dumps(
-            {
-                "version": STORE_FORMAT_VERSION,
-                "properties": backend.properties.fingerprint(),
-                "qubits": qubits,
-                "group_order": len(group),
-                "n_qubits": group.n_qubits,
-                "options": repr(backend.options),
-                "schedules": schedule_entries,
-            },
-            sort_keys=True,
-            default=list,
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        tables = self.namespace_stats("channel_tables")
+        groups = self.namespace_stats("groups")
+        return {
+            "table_writes": tables["writes"],
+            "table_write_skips": tables["write_skips"],
+            "elements_written": tables["elements_written"],
+            "group_writes": groups["writes"],
+        }
 
-    # ------------------------------------------------------------------ #
-    # channel tables
-    # ------------------------------------------------------------------ #
-    def _channels_dir(self) -> Path:
-        return self.root / "channels"
 
-    def _manifest_path(self, key: str) -> Path:
-        return self._channels_dir() / f"{key}.json"
+def resolve_store(store) -> CliffordChannelStore | None:
+    """Resolve the user-facing ``store`` knob to a store instance (or None).
 
-    def manifest(self, key: str) -> dict | None:
-        """The manifest of a channel table, or None when absent/corrupt."""
-        path = self._manifest_path(key)
-        try:
-            manifest = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        if manifest.get("version") != STORE_FORMAT_VERSION:
-            return None
-        return manifest
+    Parameters
+    ----------
+    store : None, False, "auto", str, Path or ArtifactStore
+        ``None`` / ``False`` disable persistence, ``"auto"`` selects
+        :func:`~repro.store.core.default_store_root`, a path selects that
+        directory, and an existing store instance is passed through.
 
-    def handle(self, key: str) -> ChannelTableHandle | None:
-        """Picklable handle to the current generation of a channel table."""
-        manifest = self.manifest(key)
-        if manifest is None:
-            return None
-        directory = self._channels_dir()
-        if not (directory / manifest["ids_file"]).exists():
-            return None
-        if not (directory / manifest["channels_file"]).exists():
-            return None
-        return ChannelTableHandle(
-            root=str(self.root),
-            key=key,
-            ids_file=manifest["ids_file"],
-            channels_file=manifest["channels_file"],
-        )
-
-    def load_channel_table(self, key: str) -> tuple[np.ndarray, np.ndarray] | None:
-        """Memory-map the current generation of a channel table.
-
-        Returns
-        -------
-        tuple of ndarray, or None
-            ``(element_ids, channels)`` — ids sorted ascending, channels of
-            shape ``(n_entries, d², d²)`` opened read-only — or ``None``
-            when the key has no (valid) entry.
-        """
-        handle = self.handle(key)
-        if handle is None:
-            return None
-        try:
-            return handle.table()
-        except (OSError, ValidationError, ValueError):
-            return None
-
-    def save_channel_table(
-        self, key: str, channels: dict[int, np.ndarray], metadata: dict | None = None
-    ) -> ChannelTableHandle:
-        """Persist (and merge) per-element channels under a key.
-
-        Writers of the same key serialize on a cross-process advisory lock,
-        then re-read the current generation *under the lock*: entries that
-        are already on disk are dropped from the write set (they were
-        produced by the same content key, so they are bit-identical), and a
-        save whose every element is already persisted publishes nothing at
-        all — racing cold workers converge on one generation instead of
-        overwriting each other with last-writer-wins merges.  When new
-        elements remain, a fresh merged generation is written under unique
-        names and the manifest is atomically replaced to point at it.
-
-        Parameters
-        ----------
-        key : str
-            Content-address from :meth:`channel_table_key`.
-        channels : dict of int to ndarray
-            Element index → superoperator channel.
-        metadata : dict, optional
-            Extra JSON-serializable context stored in the manifest (purely
-            informational — the key already encodes the content).
-
-        Returns
-        -------
-        ChannelTableHandle
-            Handle to the current on-disk generation (freshly written, or
-            the pre-existing one when nothing new needed persisting).
-        """
-        if not channels:
-            raise ValidationError("refusing to persist an empty channel table")
-        with self._lock(key):
-            merged: dict[int, np.ndarray] = {}
-            existing = self.load_channel_table(key)
-            if existing is not None:
-                old_ids, old_channels = existing
-                for pos, element_id in enumerate(old_ids):
-                    merged[int(element_id)] = np.asarray(old_channels[pos])
-            fresh = 0
-            for element_id, channel in channels.items():
-                if int(element_id) not in merged:
-                    fresh += 1
-                merged[int(element_id)] = np.asarray(channel, dtype=complex)
-            if fresh == 0:
-                # every element is already persisted (a racing writer beat
-                # us under the lock, or the caller re-flushed): nothing to do
-                handle = self.handle(key)
-                if handle is not None:
-                    self.stats["table_write_skips"] += 1
-                    return handle
-                # generation files vanished out-of-band (manual cleanup):
-                # fall through and rewrite the full merged table
-                fresh = len(merged)
-            ids = np.array(sorted(merged), dtype=np.int64)
-            stacked = np.stack([merged[int(i)] for i in ids]).astype(complex)
-
-            directory = self._channels_dir()
-            directory.mkdir(parents=True, exist_ok=True)
-            token = uuid.uuid4().hex[:8]
-            base = f"{key}-{len(ids)}-{token}"
-            ids_file = f"{base}.ids.npy"
-            channels_file = f"{base}.ch.npy"
-            _atomic_save_array(directory / ids_file, ids)
-            _atomic_save_array(directory / channels_file, stacked)
-            manifest = {
-                "version": STORE_FORMAT_VERSION,
-                "key": key,
-                "ids_file": ids_file,
-                "channels_file": channels_file,
-                "n_entries": int(len(ids)),
-                "metadata": metadata or {},
-            }
-            _atomic_write_text(
-                self._manifest_path(key), json.dumps(manifest, indent=2, sort_keys=True)
-            )
-            self.stats["table_writes"] += 1
-            self.stats["elements_written"] += fresh
-        return ChannelTableHandle(
-            root=str(self.root), key=key, ids_file=ids_file, channels_file=channels_file
-        )
-
-    # ------------------------------------------------------------------ #
-    # group tables
-    # ------------------------------------------------------------------ #
-    def _group_path(self, n_qubits: int) -> Path:
-        return self.root / "groups" / f"clifford_{n_qubits}q_v{GROUP_FORMAT_VERSION}.npz"
-
-    def load_group_arrays(self, n_qubits: int) -> dict[str, np.ndarray] | None:
-        """Load a persisted Clifford-group enumeration, or None when absent."""
-        path = self._group_path(n_qubits)
-        if not path.exists():
-            return None
-        try:
-            with np.load(path) as payload:
-                return {name: payload[name] for name in payload.files}
-        except (OSError, ValueError, zipfile.BadZipFile):
-            return None
-
-    def remove_group_arrays(self, n_qubits: int) -> None:
-        """Delete a persisted group enumeration (used to drop corrupt files)."""
-        self._group_path(n_qubits).unlink(missing_ok=True)
-
-    def ensure_group_saved(self, group) -> bool:
-        """Persist a group enumeration unless it is already on disk.
-
-        The check-then-write races with other cold processes, so it runs
-        under the group's cross-process advisory lock: exactly one writer
-        serializes the ~3 s two-qubit enumeration to disk, the rest observe
-        the finished file.  Returns True when a new file was written.
-        """
-        path = self._group_path(group.n_qubits)
-        if path.exists():
-            return False
-        with self._lock(path.stem):
-            if path.exists():  # a racing writer finished while we waited
-                return False
-            path.parent.mkdir(parents=True, exist_ok=True)
-            arrays = group.to_arrays()
-            _atomic_write(path, lambda fh: np.savez(fh, **arrays))
-            self.stats["group_writes"] += 1
-        return True
-
-    # ------------------------------------------------------------------ #
-    # maintenance
-    # ------------------------------------------------------------------ #
-    def prune(self, grace_seconds: float = 60.0) -> int:
-        """Delete array generations no manifest references; return the count.
-
-        Superseded generations are left behind by merges so that concurrent
-        readers never lose the file under their memory map; run this
-        occasionally (or never — generations are only produced when new
-        elements are materialized).
-
-        Parameters
-        ----------
-        grace_seconds : float
-            Files younger than this are kept even when unreferenced: a
-            concurrent ``save_channel_table`` writes its arrays *before*
-            publishing the manifest, so a freshly written generation is
-            briefly unreferenced by design.
-        """
-        directory = self._channels_dir()
-        if not directory.exists():
-            return 0
-        live: set[str] = set()
-        for manifest_path in directory.glob("*.json"):
-            try:
-                manifest = json.loads(manifest_path.read_text())
-            except (OSError, json.JSONDecodeError):
-                continue
-            live.add(manifest.get("ids_file", ""))
-            live.add(manifest.get("channels_file", ""))
-        removed = 0
-        cutoff = time.time() - grace_seconds
-        for array_path in directory.glob("*.npy"):
-            if array_path.name in live:
-                continue
-            try:
-                if array_path.stat().st_mtime > cutoff:
-                    continue
-            except OSError:
-                continue
-            array_path.unlink(missing_ok=True)
-            removed += 1
-        return removed
+    Returns
+    -------
+    CliffordChannelStore or None
+        The resolved store (``"auto"``/path selectors instantiate the
+        legacy facade class; existing instances pass through unchanged).
+    """
+    return _resolve_store(store, cls=CliffordChannelStore)

@@ -22,6 +22,11 @@ building specs and running them through a session:
              specs4["custom_irb"], specs4["default_irb"]]
         )  # one montreal backend, one 1q channel table, shared planning
 
+Every legacy driver accepts ``store=``; with a persistent store the
+session's result cache makes a repeated invocation a **warm replay** —
+cached IRB curves and persisted GRAPE pulses are served from the store
+bit-identically instead of re-executing (see ``docs/caching.md``).
+
 Figure inventory:
 
 * Fig. 1 — initial vs optimized control amplitudes for the X gate,
@@ -185,14 +190,14 @@ def fig8_specs(seed: int = 2022, fast: bool = True) -> dict[str, ExperimentSpec]
 # --------------------------------------------------------------------------- #
 # Fig. 1 — pulseoptim output for the X gate
 # --------------------------------------------------------------------------- #
-def fig1_x_pulses(seed: int = 2022) -> dict:
+def fig1_x_pulses(seed: int = 2022, store=None) -> dict:
     """Initial and optimized control amplitudes for the X gate (two controls).
 
     .. deprecated:: use :func:`fig1_spec` with a session instead.
     """
     _warn_deprecated("fig1_x_pulses", "fig1_spec")
     spec = fig1_spec(seed)
-    with Session(store=None, num_workers=1, seed=seed) as session:
+    with Session(store=store, num_workers=1, seed=seed) as session:
         result = session.run(spec)
     return {
         "times_ns": result["times_ns"],
@@ -208,14 +213,14 @@ def fig1_x_pulses(seed: int = 2022) -> dict:
 # --------------------------------------------------------------------------- #
 # Fig. 2 — custom X schedule + transpile confirmation
 # --------------------------------------------------------------------------- #
-def fig2_x_schedule(seed: int = 2022) -> dict:
+def fig2_x_schedule(seed: int = 2022, store=None) -> dict:
     """The custom X pulse on drive channel D0 and the transpiled circuit ops.
 
     .. deprecated:: use :func:`fig2_spec` with a session instead.
     """
     _warn_deprecated("fig2_x_schedule", "fig2_spec")
     spec = fig2_spec(seed)
-    with Session(store=None, num_workers=1, seed=seed) as session:
+    with Session(store=store, num_workers=1, seed=seed) as session:
         schedule = session.schedule_for(spec)
         props = session.backend_for(spec.device).properties
     samples = schedule.channel_samples(DriveChannel(0))
@@ -319,7 +324,7 @@ def fig5_h_irb(seed: int = 2022, fast: bool = True, num_workers: int = 1, store=
 # --------------------------------------------------------------------------- #
 # Fig. 6 — early CX attempts with SINE pulses on boeblingen / rome
 # --------------------------------------------------------------------------- #
-def fig6_cx_sine_histograms(seed: int = 2022, shots: int = 4000) -> dict:
+def fig6_cx_sine_histograms(seed: int = 2022, shots: int = 4000, store=None) -> dict:
     """Fig. 6: |11⟩ populations for the default CX and the SINE-pulse CX.
 
     The paper ran these early experiments on the retired ibmq_boeblingen and
@@ -330,7 +335,7 @@ def fig6_cx_sine_histograms(seed: int = 2022, shots: int = 4000) -> dict:
     """
     _warn_deprecated("fig6_cx_sine_histograms", "fig6_specs")
     out: dict = {}
-    with Session(store=None, num_workers=1, seed=seed) as session:
+    with Session(store=store, num_workers=1, seed=seed) as session:
         for device_name, spec in fig6_specs(seed).items():
             backend = session.backend_for(device_name)
             schedule = session.schedule_for(spec)
@@ -354,14 +359,14 @@ def fig6_cx_sine_histograms(seed: int = 2022, shots: int = 4000) -> dict:
 # --------------------------------------------------------------------------- #
 # Fig. 7 — custom CX schedule (GaussianSquare input) on D0/D1/U0
 # --------------------------------------------------------------------------- #
-def fig7_cx_schedule(seed: int = 2022) -> dict:
+def fig7_cx_schedule(seed: int = 2022, store=None) -> dict:
     """Fig. 7: the optimized CX pulse samples on D0, D1 and U0 of montreal.
 
     .. deprecated:: use :func:`fig7_spec` with a session instead.
     """
     _warn_deprecated("fig7_cx_schedule", "fig7_spec")
     spec = fig7_spec(seed)
-    with Session(store=None, num_workers=1, seed=seed) as session:
+    with Session(store=store, num_workers=1, seed=seed) as session:
         schedule = session.schedule_for(spec)
         optimization = session.optimization_for(spec)
         props = session.backend_for(spec.device).properties

@@ -164,6 +164,7 @@ def generate_table1(
     seed: int = 2022,
     store=None,
     num_workers: int = 1,
+    result_cache: bool | None = None,
 ) -> list[Table1Row]:
     """Run the Table I sweep through one session; return the measured rows.
 
@@ -183,17 +184,24 @@ def generate_table1(
     seed:
         Optimization / benchmarking seed (per row, as before).
     store:
-        Persistent Clifford-store selector forwarded to the session
-        (``None`` — the historical behaviour — disables persistence).
+        Persistent artifact-store selector forwarded to the session
+        (``None`` — the historical behaviour — disables persistence; with
+        a store, re-generating the table is a warm replay: cached rows and
+        persisted pulses are served bit-identically from the store).
     num_workers:
         Per-experiment process fan-out forwarded to the session.
+    result_cache:
+        Result-cache switch forwarded to the session (``False`` forces a
+        cold bit-identity run even with a store attached).
     """
     from ..session.session import Session
 
     row_dicts = list(rows) if rows is not None else list(TABLE1_ROWS)
     triples = [table1_row_specs(row, fast=fast, seed=seed) for row in row_dicts]
     out: list[Table1Row] = []
-    with Session(store=store, num_workers=num_workers, seed=seed) as session:
+    with Session(
+        store=store, num_workers=num_workers, seed=seed, result_cache=result_cache
+    ) as session:
         flat = [
             spec
             for triple in triples

@@ -17,6 +17,17 @@ listing its consumer specs; the session executes each step exactly once
 (guarded by per-key locks for concurrent ``submit()``) before fanning the
 experiments out.
 
+With a ``store`` attached the planner is additionally **cache-aware**:
+specs whose result is already in the store's ``results`` namespace (keyed
+by spec cache-fingerprint × device properties fingerprint — see
+``docs/caching.md``) are marked in :attr:`SessionPlan.cached` and removed
+from every step's consumer list; a step whose every consumer is cached is
+dropped entirely, so a fully warm batch plans **zero** preparation and a
+partially warm one prepares only what its cold specs need (sweeps resolve
+at per-point granularity this way).  The cache probe reads device
+properties through :func:`repro.devices.library.get_device` — static
+calibration data, no backend is built.
+
 Step kinds, in build order:
 
 ``group``
@@ -83,11 +94,17 @@ class SessionPlan:
         Dependency-ordered unique preparation steps.
     consumers : dict
         ``step.key`` → indices into :attr:`specs` that need the step.
+    cached : list of int
+        Indices into :attr:`specs` whose result is already in the store's
+        result cache (only populated when planning with a ``store``); the
+        steps those specs would have needed are dropped unless an uncached
+        spec also needs them.
     """
 
     specs: list[ExperimentSpec]
     steps: list[PrepStep] = field(default_factory=list)
     consumers: dict[tuple, list[int]] = field(default_factory=dict)
+    cached: list[int] = field(default_factory=list)
 
     @property
     def shared_steps(self) -> list[PrepStep]:
@@ -96,7 +113,8 @@ class SessionPlan:
 
     def describe(self) -> str:
         """Multi-line human-readable plan summary."""
-        lines = [f"session plan: {len(self.specs)} spec(s), {len(self.steps)} prep step(s)"]
+        cached = f", {len(self.cached)} cached" if self.cached else ""
+        lines = [f"session plan: {len(self.specs)} spec(s), {len(self.steps)} prep step(s){cached}"]
         for step in self.steps:
             users = len(self.consumers.get(step.key, ()))
             shared = f" [shared x{users}]" if users > 1 else ""
@@ -184,13 +202,30 @@ def prep_steps_for(spec: ExperimentSpec) -> list[PrepStep]:
     raise ValidationError(f"cannot plan spec of kind {getattr(spec, 'kind', '?')!r}")
 
 
-def plan_specs(specs) -> SessionPlan:
+def _device_properties_fingerprint(device: str) -> str:
+    """Properties fingerprint of a named device (no backend is built)."""
+    from ..devices.library import get_device
+
+    return get_device(device).fingerprint()
+
+
+def plan_specs(specs, store=None, properties_fingerprint=None) -> SessionPlan:
     """Build the deduplicated preparation plan of a batch of specs.
 
     Parameters
     ----------
     specs : iterable of ExperimentSpec
         Specs to plan (sweeps are expanded first).
+    store : ArtifactStore, optional
+        When given, each spec is probed against the store's result cache
+        (``store.has_result``): cached specs are listed in
+        :attr:`SessionPlan.cached`, dropped from every step's consumers,
+        and steps left without consumers are dropped entirely — a fully
+        warm batch plans zero preparation.
+    properties_fingerprint : callable, optional
+        ``device name -> properties fingerprint`` used for the cache
+        probe.  Defaults to fingerprinting the library device; a session
+        passes its own resolver so adopted backends are honoured.
 
     Returns
     -------
@@ -200,9 +235,26 @@ def plan_specs(specs) -> SessionPlan:
         consumer specs.
     """
     flat = expand_specs(specs)
+    cached: list[int] = []
+    if store is not None:
+        resolver = properties_fingerprint or _device_properties_fingerprint
+        # one resolver call per device per plan: the default resolver
+        # rebuilds and re-hashes the whole calibration snapshot, which a
+        # wide sweep would otherwise repeat once per grid point
+        fingerprints: dict[str, str] = {}
+        for position, spec in enumerate(flat):
+            fp = fingerprints.get(spec.device)
+            if fp is None:
+                fp = resolver(spec.device)
+                fingerprints[spec.device] = fp
+            if store.has_result(spec.cache_fingerprint(), fp):
+                cached.append(position)
+    cached_set = set(cached)
     by_key: dict[tuple, PrepStep] = {}
     consumers: dict[tuple, list[int]] = {}
     for position, spec in enumerate(flat):
+        if position in cached_set:
+            continue
         for step in prep_steps_for(spec):
             by_key.setdefault(step.key, step)
             consumers.setdefault(step.key, []).append(position)
@@ -210,4 +262,4 @@ def plan_specs(specs) -> SessionPlan:
         by_key.values(),
         key=lambda s: (_KIND_ORDER.index(s.kind), s.key),
     )
-    return SessionPlan(specs=flat, steps=ordered, consumers=consumers)
+    return SessionPlan(specs=flat, steps=ordered, consumers=consumers, cached=cached)

@@ -17,6 +17,7 @@ values — good enough to diff two runs bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -117,6 +118,27 @@ class ExperimentResult:
     def spec_fingerprint(self) -> str | None:
         """Fingerprint of the producing spec (from provenance)."""
         return self.provenance.get("spec_fingerprint")
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether this result was served from the persistent result cache.
+
+        Set by the session on cache hits (``provenance["cache_hit"]``);
+        the payload of a hit is bit-identical to the cold run that
+        produced the entry — only the provenance carries the marker.
+        """
+        return bool(self.provenance.get("cache_hit"))
+
+    def payload_fingerprint(self) -> str:
+        """SHA-256 of the canonical encoded payload.
+
+        Two results whose payloads are bit-identical (same array values,
+        dtypes and shapes, same scalars) share a payload fingerprint —
+        the primitive behind the cache's bit-identity assertions in tests
+        and the warm-replay benchmark.
+        """
+        payload = json.dumps(_encode(self.payload), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def __getitem__(self, key: str):
         """Payload access shorthand: ``result["gate_error"]``."""

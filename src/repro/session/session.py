@@ -30,9 +30,22 @@ overlapping specs coordinate through per-artifact locks, so a shared
 channel table is still built (and persisted) exactly once — observable
 through the store's write counters.
 
+With a persistent store attached the session additionally consults the
+**result cache** (the store's ``results`` namespace, keyed by spec
+cache-fingerprint × backend-properties fingerprint): re-submitting an
+identical spec returns the stored :class:`ExperimentResult` — marked
+``provenance["cache_hit"] = True`` — without building a single prep
+artifact or executing anything, sweeps resolve at per-point granularity
+(a partially cached grid runs only its missing points), and GRAPE prep
+steps persist their optimized pulses to the ``pulses`` namespace so warm
+sessions skip pulse optimization entirely.  ``Session(result_cache=False)``
+or ``REPRO_RESULT_CACHE=0`` force a fully cold run (see
+``docs/caching.md``).
+
 Results are bit-identical to running the standalone experiment classes
-directly: the session changes *when* shared artifacts are built, never
-*what* is computed (all randomness flows from per-spec seeds).
+directly: the session changes *when* shared artifacts are built (or
+whether a cached bit-identical payload is replayed), never *what* is
+computed (all randomness flows from per-spec seeds).
 """
 
 from __future__ import annotations
@@ -78,6 +91,13 @@ class Session:
         Seed of backends created by the session (feeds only their
         fallback sampling RNG; every experiment draws from its spec seed,
         so results do not depend on this).
+    result_cache : bool, optional
+        Whether to reuse cached results (and persisted GRAPE pulses) from
+        the store's ``results``/``pulses`` namespaces.  Defaults to on
+        whenever a store is attached; pass ``False`` — or set
+        ``REPRO_RESULT_CACHE=0``, which always wins — to force a cold,
+        bit-identity-baseline run.  Cold runs still *publish* their
+        results, so the next cached session finds them.
     """
 
     def __init__(
@@ -87,10 +107,12 @@ class Session:
         num_workers: int = 0,
         max_concurrency: int | None = None,
         seed=None,
+        result_cache: bool | None = None,
     ):
-        from ..benchmarking.store import resolve_store
+        from ..store import resolve_store, result_cache_enabled
 
         self.store = resolve_store(store)
+        self.result_cache = self.store is not None and result_cache_enabled(result_cache)
         self.num_workers = int(num_workers)
         self.seed = seed
         self._backends: dict[str, object] = {}
@@ -111,6 +133,17 @@ class Session:
         self._closed = False
         #: Wall-clock seconds spent building each prep key (observability).
         self.prep_timings: dict[tuple, float] = {}
+        #: Per-session counters: ``cache_hits`` / ``cache_misses`` (result
+        #: cache consultations), ``executions`` (specs actually executed)
+        #: and ``prep_builds`` (artifacts built through the registry) —
+        #: together with the store's namespace counters these prove that a
+        #: warm replay performs zero prep builds and zero executions.
+        self.stats: dict[str, int] = {
+            "cache_hits": 0, "cache_misses": 0, "executions": 0, "prep_builds": 0,
+        }
+        self._stats_lock = threading.Lock()
+        #: Memoized properties fingerprints per canonical device name.
+        self._props_fps: dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -159,6 +192,39 @@ class Session:
         """Store argument for experiment constructors (``False`` = off)."""
         return self.store if self.store is not None else False
 
+    def _bump_stat(self, counter: str, n: int = 1) -> None:
+        """Increment one session counter (thread-safe)."""
+        with self._stats_lock:
+            self.stats[counter] = self.stats.get(counter, 0) + n
+
+    def properties_fingerprint_for(self, device: str) -> str:
+        """Properties fingerprint a spec on ``device`` will run against.
+
+        Resolved without building a backend: an already-registered (or
+        adopted) backend's snapshot wins, otherwise the library device's
+        static calibration data is fingerprinted directly — this is the
+        second half of the result-cache key, so cache lookups stay free of
+        preparation work.
+
+        A registered backend's fingerprint is re-read on **every** call
+        (never memoized): the drift study swaps ``backend.properties`` in
+        place, and the cache key must follow the live snapshot — exactly
+        as ``PulseBackend._check_cache_freshness`` does for the in-memory
+        caches.  Only the immutable library-device fingerprint is
+        memoized.
+        """
+        device = _canonical(device)
+        registered = self._backends.get(device)
+        if registered is not None:
+            return registered.properties.fingerprint()
+        fp = self._props_fps.get(device)
+        if fp is None:
+            from ..devices.library import get_device
+
+            fp = get_device(device).fingerprint()
+            self._props_fps[device] = fp
+        return fp
+
     def _resolve_workers(self, spec) -> int:
         spec_workers = getattr(spec, "num_workers", None)
         return self.num_workers if spec_workers is None else int(spec_workers)
@@ -200,8 +266,19 @@ class Session:
         return [future.result() for future in futures]
 
     def plan(self, specs: Sequence[ExperimentSpec]) -> SessionPlan:
-        """The deduplicated preparation plan of a batch (builds nothing)."""
-        return plan_specs(specs)
+        """The deduplicated preparation plan of a batch (builds nothing).
+
+        With the result cache enabled the plan is cache-aware: specs whose
+        result is already stored are marked
+        :attr:`~repro.session.planner.SessionPlan.cached` and the prep
+        steps only they would have needed are dropped (see
+        :func:`~repro.session.planner.plan_specs`).
+        """
+        return plan_specs(
+            specs,
+            store=self.store if self.result_cache else None,
+            properties_fingerprint=self.properties_fingerprint_for,
+        )
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -277,6 +354,7 @@ class Session:
                     time.perf_counter() - start
                 )
                 self._artifacts[key] = artifact
+                self._bump_stat("prep_builds")
         return artifact
 
     def _group_artifact(self, n_qubits: int):
@@ -290,7 +368,18 @@ class Session:
         return self._artifact(("group", int(n_qubits)), build)
 
     def _grape_artifact(self, spec: GRAPESpec):
-        """(OptimResult, Schedule) of a GRAPE spec, built exactly once."""
+        """(OptimResult, Schedule) of a GRAPE spec, built exactly once.
+
+        With a store attached, the optimization outcome is persisted to
+        the ``pulses`` namespace keyed by the spec fingerprint × the
+        calibration snapshot's properties fingerprint — a warm session
+        (result cache enabled) loads the stored amplitudes and skips the
+        optimizer entirely, then re-derives the schedule bit-identically
+        (``pulse_schedule_from_result`` is a pure function of the stored
+        amplitudes).  Cold builds always publish, so even a
+        ``result_cache=False`` baseline run warms the pulse store for
+        subsequent sessions.
+        """
         if not isinstance(spec, GRAPESpec):
             raise ValidationError("GRAPE preparation expects a GRAPESpec")
 
@@ -299,7 +388,22 @@ class Session:
 
             backend = self.backend_for(spec.device)
             config = spec.gate_config()
-            optimization = optimize_gate_pulse(backend.properties, config)
+            optimization = None
+            pulse_key = None
+            if self.store is not None:
+                pulse_key = self.store.pulse_key(
+                    spec.cache_fingerprint(), self.properties_fingerprint_for(spec.device)
+                )
+                if self.result_cache:
+                    optimization = self.store.load_pulse(pulse_key)
+            if optimization is None:
+                optimization = optimize_gate_pulse(backend.properties, config)
+                if pulse_key is not None:
+                    self.store.save_pulse(
+                        pulse_key,
+                        optimization,
+                        metadata={"device": _canonical(spec.device), "gate": spec.gate},
+                    )
             schedule = pulse_schedule_from_result(backend.properties, config, optimization)
             return optimization, schedule
 
@@ -373,10 +477,45 @@ class Session:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    def _cached_result(self, spec: ExperimentSpec) -> ExperimentResult | None:
+        """Serve one concrete spec from the result cache, if possible.
+
+        A hit returns the stored result — payload bit-identical to the
+        cold run that produced it — with ``provenance["cache_hit"]`` set;
+        no prep artifact is built and nothing executes.  Misses (including
+        corrupt or truncated entries, which the store counts and treats as
+        absent) return ``None`` and the caller falls through to the cold
+        path, whose publication repairs the entry.
+        """
+        if not self.result_cache:
+            return None
+        result = self.store.load_result(
+            spec.cache_fingerprint(), self.properties_fingerprint_for(spec.device)
+        )
+        if result is None:
+            self._bump_stat("cache_misses")
+            return None
+        result.provenance = {**result.provenance, "cache_hit": True}
+        self._bump_stat("cache_hits")
+        return result
+
+    def _publish_result(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
+        """Publish a freshly computed result to the store (exactly once)."""
+        if self.store is None or isinstance(spec, SweepSpec):
+            return
+        self.store.save_result(
+            result,
+            cache_fingerprint=spec.cache_fingerprint(),
+            properties_fingerprint=result.provenance["properties_fingerprint"],
+        )
+
     def _run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
         """Prepare (exactly once, lock-guarded) and execute one spec."""
         if isinstance(spec, SweepSpec):
             return self._run_sweep(spec)
+        cached = self._cached_result(spec)
+        if cached is not None:
+            return cached
         prep_start = time.perf_counter()
         for step in prep_steps_for(spec):
             self._build_step(step, [spec])
@@ -393,6 +532,7 @@ class Session:
             raise ValidationError(f"cannot execute spec of kind {spec.kind!r}")
         execute_s = time.perf_counter() - execute_start
 
+        self._bump_stat("executions")
         backend = self.backend_for(spec.device)
         provenance = {
             "spec_fingerprint": spec.fingerprint(),
@@ -401,12 +541,23 @@ class Session:
             "timings": {"prepare_s": prepare_s, "execute_s": execute_s},
             **provenance_extra,
         }
-        return ExperimentResult(
+        result = ExperimentResult(
             kind=spec.kind, spec=spec.to_dict(), payload=payload, provenance=provenance
         )
+        self._publish_result(spec, result)
+        return result
 
     def _run_sweep(self, spec: SweepSpec) -> ExperimentResult:
-        """Execute a sweep: plan the grid jointly, then run every point."""
+        """Execute a sweep: plan the grid jointly, then run every point.
+
+        The plan is cache-aware, so the sweep resolves at **per-point
+        granularity**: grid points whose result is already cached are
+        served from the store (payload bit-identical to the cold run) and
+        excluded from preparation; only the missing points build prep and
+        execute.  The aggregate sweep result itself is reassembled from
+        the points rather than cached — its provenance reports how many
+        points were warm (``cached_points``).
+        """
         children = spec.expand()
         self._build_plan(self.plan(children))
         results = [self._run_spec(child) for child in children]
@@ -420,6 +571,7 @@ class Session:
         provenance = {
             "spec_fingerprint": spec.fingerprint(),
             "n_points": len(children),
+            "cached_points": sum(1 for r in results if r.cache_hit),
         }
         return ExperimentResult(
             kind=spec.kind, spec=spec.to_dict(), payload=payload, provenance=provenance

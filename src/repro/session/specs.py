@@ -69,6 +69,11 @@ class ExperimentSpec:
     #: Serialization tag; unique per concrete subclass.
     kind: ClassVar[str] = ""
 
+    #: Field names excluded from :meth:`cache_fingerprint`: knobs that
+    #: change *how* a spec executes (process fan-out, scheduling), never
+    #: what it computes — results are bit-identical across their values.
+    _CACHE_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ()
+
     def __init_subclass__(cls, **kwargs):
         """Register the subclass under its ``kind`` tag."""
         super().__init_subclass__(**kwargs)
@@ -111,6 +116,21 @@ class ExperimentSpec:
         ``BackendProperties.fingerprint`` (see ``docs/caching.md``).
         """
         payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def cache_fingerprint(self) -> str:
+        """Fingerprint used as the result-cache key of the spec.
+
+        Identical to :meth:`fingerprint` except that execution-only knobs
+        (:attr:`_CACHE_EXCLUDED_FIELDS`, e.g. ``num_workers``) are dropped
+        before hashing: a spec re-submitted with a different process
+        fan-out computes the bit-identical payload, so it hits the same
+        cache entry (see the result-cache contract in ``docs/caching.md``).
+        """
+        data = self.to_dict()
+        for name in self._CACHE_EXCLUDED_FIELDS:
+            data.pop(name, None)
+        payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -232,6 +252,7 @@ class RBSpec(ExperimentSpec):
     """
 
     kind: ClassVar[str] = "rb"
+    _CACHE_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("num_workers",)
 
     device: str = "montreal"
     qubits: tuple[int, ...] = (0,)
@@ -287,6 +308,7 @@ class IRBSpec(ExperimentSpec):
     """
 
     kind: ClassVar[str] = "irb"
+    _CACHE_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("num_workers",)
 
     device: str = "montreal"
     gate: str = "x"

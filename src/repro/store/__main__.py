@@ -1,0 +1,156 @@
+"""Command-line maintenance for the artifact store.
+
+Usage::
+
+    python -m repro.store [--root PATH] ls [NAMESPACE]
+    python -m repro.store [--root PATH] stats
+    python -m repro.store [--root PATH] prune [--grace SECONDS]
+    python -m repro.store [--root PATH] rm KEY [--namespace NAMESPACE]
+
+Without ``--root`` the default store location is used (``$REPRO_STORE_DIR``,
+else ``$XDG_CACHE_HOME/repro/store``, else ``~/.cache/repro/store``) — the
+same resolution as ``store="auto"``.
+
+``ls`` lists every entry with its namespace, key, file count, on-disk size
+and age; ``stats`` prints the per-namespace footprint; ``prune`` removes
+payload generations no manifest references (after a grace period); ``rm``
+deletes one entry by key — for cached results, a bare spec fingerprint
+removes every properties snapshot of that spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import ArtifactStore, default_store_root
+
+#: Thresholds and suffixes of the human-readable byte formatter.
+_SIZE_UNITS = ((1 << 30, "GiB"), (1 << 20, "MiB"), (1 << 10, "KiB"))
+
+
+def _format_bytes(n: int) -> str:
+    """Human-readable size (``1.5 MiB``)."""
+    for threshold, unit in _SIZE_UNITS:
+        if n >= threshold:
+            return f"{n / threshold:.1f} {unit}"
+    return f"{n} B"
+
+
+def _format_age(seconds: float) -> str:
+    """Human-readable age (``3d``, ``4h``, ``12m``, ``45s``)."""
+    for threshold, unit in ((86400, "d"), (3600, "h"), (60, "m")):
+        if seconds >= threshold:
+            return f"{seconds / threshold:.0f}{unit}"
+    return f"{seconds:.0f}s"
+
+
+def _short_key(key: str, width: int = 24) -> str:
+    """Abbreviate long content hashes for tabular display."""
+    if "/" in key:
+        spec, props = key.split("/", 1)
+        return f"{_short_key(spec, 12)}/{_short_key(props, 12)}"
+    return key if len(key) <= width else key[: width - 1] + "…"
+
+
+def _cmd_ls(store: ArtifactStore, namespace: str | None) -> int:
+    try:
+        entries = store.ls(namespace)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    if not entries:
+        print(f"store at {store.root} is empty")
+        return 0
+    print(f"{'NAMESPACE':<16} {'KEY':<26} {'FILES':>5} {'SIZE':>10} {'AGE':>6}")
+    for entry in entries:
+        print(
+            f"{entry['namespace']:<16} {_short_key(entry['key']):<26} "
+            f"{entry['files']:>5} {_format_bytes(entry['bytes']):>10} "
+            f"{_format_age(entry['age_s']):>6}"
+        )
+    print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} at {store.root}")
+    return 0
+
+
+def _cmd_stats(store: ArtifactStore) -> int:
+    stats = store.disk_stats()
+    print(f"{'NAMESPACE':<16} {'ENTRIES':>8} {'FILES':>6} {'SIZE':>10}")
+    total = 0
+    for name, row in stats.items():
+        total += row["bytes"]
+        print(
+            f"{name:<16} {row['entries']:>8} {row['files']:>6} "
+            f"{_format_bytes(row['bytes']):>10}"
+        )
+    print(f"total {_format_bytes(total)} at {store.root}")
+    return 0
+
+
+def _cmd_prune(store: ArtifactStore, grace: float) -> int:
+    removed = store.prune(grace_seconds=grace)
+    print(f"pruned {removed} unreferenced file(s) from {store.root}")
+    return 0
+
+
+def _cmd_rm(store: ArtifactStore, key: str, namespace: str | None) -> int:
+    try:
+        removed = store.rm(key, namespace=namespace)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"entry is locked by a busy writer: {exc}", file=sys.stderr)
+        return 1
+    if not removed:
+        print(f"no entry matching {key!r} in {store.root}", file=sys.stderr)
+        return 1
+    for path in removed:
+        print(f"removed {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a shell exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect and maintain the persistent artifact store.",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="store root directory (default: the store='auto' resolution)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ls = commands.add_parser("ls", help="list entries (namespaces, keys, sizes, ages)")
+    ls.add_argument("namespace", nargs="?", default=None,
+                    help="restrict to one namespace (channel_tables|groups|pulses|results)")
+
+    commands.add_parser("stats", help="per-namespace on-disk footprint")
+
+    prune = commands.add_parser("prune", help="remove unreferenced payload generations")
+    prune.add_argument("--grace", type=float, default=60.0,
+                       help="keep unreferenced files younger than this many seconds")
+
+    rm = commands.add_parser("rm", help="remove one entry by key")
+    rm.add_argument("key", help="entry key as shown by ls (content hash / group stem)")
+    rm.add_argument("--namespace", default=None, help="restrict the search to one namespace")
+
+    args = parser.parse_args(argv)
+    root = args.root if args.root is not None else default_store_root()
+    store = ArtifactStore(root)
+    if args.command != "ls" and not store.root.exists():
+        print(f"store root {store.root} does not exist", file=sys.stderr)
+        return 1
+    if args.command == "ls":
+        return _cmd_ls(store, args.namespace)
+    if args.command == "stats":
+        return _cmd_stats(store)
+    if args.command == "prune":
+        return _cmd_prune(store, args.grace)
+    return _cmd_rm(store, args.key, args.namespace)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""The ``results`` namespace: the spec-fingerprint result cache.
+
+Every concrete spec executed through a
+:class:`~repro.session.session.Session` produces an
+:class:`~repro.session.results.ExperimentResult` whose provenance pins the
+spec fingerprint and the backend-properties fingerprint.  Since all
+randomness flows from the spec's own seed, that pair fully determines the
+payload — so the result itself is content-addressable::
+
+    <root>/results/<spec cache fingerprint>/<properties fingerprint>.json
+
+The cached document is exactly ``ExperimentResult.to_json()`` — lossless,
+self-describing, and bit-identical on reload (see
+:mod:`repro.session.results`).  The namespace guarantees:
+
+* **exactly-once publication** — writers of one key pair serialize on an
+  advisory lock and skip (counted in ``write_skips``) when a racing
+  session already published the identical content;
+* **fail-open reads** — a corrupt or truncated entry is counted
+  (``corrupt``) and reported as a miss, so the caller transparently falls
+  back to a cold run and republishes;
+* **opt-out** — :func:`result_cache_enabled` honours the
+  ``REPRO_RESULT_CACHE=0`` environment override (and the
+  ``Session(result_cache=False)`` argument), so bit-identity baselines can
+  always force a cold run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .core import atomic_write_text
+
+__all__ = ["ResultMixin", "result_cache_enabled"]
+
+#: Environment variable disabling result/pulse reuse when set to a falsy
+#: value (``0``, ``false``, ``off``, ``no`` or empty).
+RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
+
+_FALSY = ("0", "false", "off", "no", "")
+
+
+def result_cache_enabled(flag: bool | None = None) -> bool:
+    """Resolve the result-cache switch from an argument and the environment.
+
+    Parameters
+    ----------
+    flag : bool, optional
+        The ``Session(result_cache=...)`` argument; ``None`` defers to the
+        default (enabled).
+
+    Returns
+    -------
+    bool
+        False when either the argument or ``$REPRO_RESULT_CACHE`` disables
+        the cache — the environment override always wins, so a cold
+        bit-identity baseline can be forced without touching code.
+    """
+    env = os.environ.get(RESULT_CACHE_ENV)
+    env_ok = env is None or env.strip().lower() not in _FALSY
+    flag_ok = True if flag is None else bool(flag)
+    return env_ok and flag_ok
+
+
+class ResultMixin:
+    """Typed API of the ``results`` namespace (mixed into the store)."""
+
+    def _results_dir(self) -> Path:
+        return self.namespace_dir("results")
+
+    def result_path(self, cache_fingerprint: str, properties_fingerprint: str) -> Path:
+        """On-disk location of one cached result."""
+        return self._results_dir() / cache_fingerprint / f"{properties_fingerprint}.json"
+
+    def has_result(self, cache_fingerprint: str, properties_fingerprint: str) -> bool:
+        """Whether a cached result appears to exist (no counters touched).
+
+        Used by the cache-aware planner to drop preparation steps, so it
+        is deliberately cheap: only a small prefix of the document is read
+        and probed for the format marker, not the full (potentially large)
+        payload.  A truncated entry may therefore be reported present —
+        harmlessly: the run-time :meth:`load_result` detects the
+        corruption, falls back to a cold run that builds its own
+        preparation, and the re-publication repairs the entry.
+        """
+        path = self.result_path(cache_fingerprint, properties_fingerprint)
+        try:
+            with open(path, "rb") as fh:
+                head = fh.read(512)
+        except OSError:
+            return False
+        return head.lstrip().startswith(b"{") and b'"format"' in head
+
+    def _result_is_valid(self, cache_fingerprint: str, properties_fingerprint: str) -> bool:
+        """Full-document validity check (used by the exactly-once writer)."""
+        path = self.result_path(cache_fingerprint, properties_fingerprint)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return isinstance(document, dict) and "format" in document
+
+    def load_result(self, cache_fingerprint: str, properties_fingerprint: str):
+        """The cached :class:`ExperimentResult` of a key pair, or None.
+
+        Counts a ``hits`` on success and a ``misses`` otherwise; an entry
+        that exists but cannot be parsed additionally counts ``corrupt``
+        and behaves exactly like a miss (the caller re-runs and the
+        re-publication overwrites the broken file).
+        """
+        from ..session.results import ExperimentResult
+        from ..utils.validation import ValidationError
+
+        path = self.result_path(cache_fingerprint, properties_fingerprint)
+        if not path.exists():
+            self._bump("results", "misses")
+            return None
+        try:
+            result = ExperimentResult.from_json(path.read_text())
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, ValidationError):
+            self._bump("results", "corrupt")
+            self._bump("results", "misses")
+            return None
+        self._bump("results", "hits")
+        return result
+
+    def save_result(
+        self, result, cache_fingerprint: str, properties_fingerprint: str
+    ) -> bool:
+        """Publish one result exactly once; returns True when written.
+
+        Racing sessions executing the same spec serialize on the key's
+        advisory lock: the first writer publishes atomically, later ones
+        observe the valid entry and skip (``write_skips``) — the write
+        counters are how tests prove exactly-once publication.  A writer
+        that finds a *corrupt* entry under the lock replaces it.
+        """
+        text = result.to_json()
+        key = f"{cache_fingerprint}/{properties_fingerprint}"
+        with self._lock(self._entry_lock_name("results", key)):
+            if self._result_is_valid(cache_fingerprint, properties_fingerprint):
+                self._bump("results", "write_skips")
+                return False
+            path = self.result_path(cache_fingerprint, properties_fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, text + "\n")
+            self._bump("results", "writes")
+        return True

@@ -1,11 +1,11 @@
 """Cross-process advisory file locks.
 
-The persistent Clifford store (:mod:`repro.benchmarking.store`) is shared
-between every process of a ``num_workers`` fan-out — and, on a busy machine,
-between entirely unrelated sessions pointing at the same cache directory.
-Its writers are already crash-safe (tmp file + atomic rename), but without
+The persistent artifact store (:mod:`repro.store`) is shared between every
+process of a ``num_workers`` fan-out — and, on a busy machine, between
+entirely unrelated sessions pointing at the same cache directory.  Its
+writers are already crash-safe (tmp file + atomic rename), but without
 mutual exclusion many *cold* workers racing on one key each rebuild the same
-channels and then serialize last-writer-wins merges of bit-identical data.
+artifact and then serialize last-writer-wins merges of bit-identical data.
 
 :class:`FileLock` provides the missing primitive: a small advisory lock
 built on ``fcntl.flock`` (POSIX) or ``msvcrt.locking`` (Windows).  It is
@@ -20,13 +20,19 @@ Usage::
     with FileLock(path_to_resource.with_suffix(".lock")):
         ...  # read-modify-write the resource
 
+    # maintenance tooling that must not hang behind a busy writer:
+    with FileLock(lock_path).acquired(timeout=10.0):
+        ...  # raises TimeoutError if the lock stays contended
+
 The lock file itself is left in place (removing it would race new
 acquirers); it is a zero-byte sentinel next to the resource it guards.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
+import time
 from pathlib import Path
 
 __all__ = ["FileLock"]
@@ -37,12 +43,19 @@ try:  # POSIX
     def _lock_fd(fd: int) -> None:
         fcntl.flock(fd, fcntl.LOCK_EX)
 
+    def _try_lock_fd(fd: int) -> bool:
+        """One non-blocking acquisition attempt; False when contended."""
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            return False
+        return True
+
     def _unlock_fd(fd: int) -> None:
         fcntl.flock(fd, fcntl.LOCK_UN)
 
 except ImportError:  # pragma: no cover - Windows
     import errno
-    import time
 
     import msvcrt
 
@@ -76,6 +89,17 @@ except ImportError:  # pragma: no cover - Windows
                     raise
                 time.sleep(0.05)
 
+    def _try_lock_fd(fd: int) -> bool:
+        """One non-blocking acquisition attempt; False when contended."""
+        os.lseek(fd, 0, os.SEEK_SET)
+        try:
+            msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+        except OSError as exc:
+            if exc.errno not in _CONTENTION_ERRNOS:
+                raise
+            return False
+        return True
+
     def _unlock_fd(fd: int) -> None:
         os.lseek(fd, 0, os.SEEK_SET)
         msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
@@ -98,25 +122,68 @@ class FileLock:
       scope (they are cheap).  It is not re-entrant.
     * ``fork()``'d children inherit the descriptor but acquiring in the
       child opens a fresh one, so parent/child exclusion works as expected.
+    * ``with FileLock(path):`` acquires on entry (blocking); for a timed
+      acquisition use :meth:`acquired`, which releases on exit and raises
+      :class:`TimeoutError` when the lock stays contended.
     """
+
+    #: Seconds between non-blocking attempts of a timed acquire.
+    _POLL_INTERVAL = 0.05
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._fd: int | None = None
 
-    def acquire(self) -> "FileLock":
-        """Block until the lock is held; returns ``self`` for chaining."""
+    def acquire(self, timeout: float | None = None) -> "FileLock":
+        """Block until the lock is held; returns ``self`` for chaining.
+
+        Parameters
+        ----------
+        timeout : float, optional
+            Maximum seconds to wait.  ``None`` (default) blocks
+            indefinitely; with a timeout the lock is polled
+            non-blockingly and :class:`TimeoutError` is raised when it
+            stays contended — used by maintenance tooling (``python -m
+            repro.store rm``) that must fail fast instead of hanging
+            behind a busy writer (see :meth:`acquired` for the context-
+            manager form).  ``timeout=0`` performs exactly one
+            non-blocking attempt.
+        """
         if self._fd is not None:
             raise RuntimeError(f"FileLock({self.path}) is not re-entrant")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
         try:
-            _lock_fd(fd)
+            if timeout is None:
+                _lock_fd(fd)
+            else:
+                deadline = time.monotonic() + max(0.0, timeout)
+                while not _try_lock_fd(fd):
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"could not acquire {self.path} within {timeout:g}s"
+                        )
+                    time.sleep(self._POLL_INTERVAL)
         except BaseException:
             os.close(fd)
             raise
         self._fd = fd
         return self
+
+    @contextlib.contextmanager
+    def acquired(self, timeout: float | None = None):
+        """Context manager: acquire (optionally timed), release on exit.
+
+        Unlike ``with lock:`` this supports a ``timeout`` — maintenance
+        tooling uses ``with FileLock(p).acquired(timeout=10.0):`` to fail
+        fast (:class:`TimeoutError`) instead of hanging behind a busy
+        writer.
+        """
+        self.acquire(timeout=timeout)
+        try:
+            yield self
+        finally:
+            self.release()
 
     def release(self) -> None:
         """Release the lock (no-op when not held)."""

@@ -62,6 +62,49 @@ class TestFileLock:
         with FileLock(path):
             pass
 
+    def test_timed_acquire_uncontended(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock.acquired(timeout=5.0):
+            assert lock.held
+        assert not lock.held
+
+    def test_timed_acquire_times_out_while_held(self, tmp_path):
+        """A second open file description cannot acquire within the timeout.
+
+        flock exclusion is per open file description, so two FileLock
+        instances on the same path contend even within one process.
+        """
+        path = tmp_path / "a.lock"
+        holder = FileLock(path).acquire()
+        try:
+            contender = FileLock(path)
+            with pytest.raises(TimeoutError):
+                contender.acquire(timeout=0.2)
+            assert not contender.held
+        finally:
+            holder.release()
+        # once released, the timed path succeeds immediately
+        with FileLock(path).acquired(timeout=0.2):
+            pass
+
+    def test_nested_with_fails_loudly(self, tmp_path):
+        """Entering a held lock raises instead of silently early-releasing."""
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            with pytest.raises(RuntimeError):
+                with lock:
+                    pass
+            assert lock.held  # the failed inner enter did not release
+
+    def test_zero_timeout_is_single_attempt(self, tmp_path):
+        path = tmp_path / "a.lock"
+        holder = FileLock(path).acquire()
+        try:
+            with pytest.raises(TimeoutError):
+                FileLock(path).acquire(timeout=0)
+        finally:
+            holder.release()
+
 
 def _locked_increment_worker(path, lock_path, iterations):
     """Read-modify-write a counter file under the lock (racy without it)."""
