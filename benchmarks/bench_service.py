@@ -1,0 +1,126 @@
+"""Cross-process in-flight deduplication: duplicate vs independent runs.
+
+The service acceptance benchmark: ``N`` *concurrently submitted duplicate*
+specs — the daemon's worker pool and plain concurrent ``Session`` users
+share the same protocol, so the bench drives N concurrent sessions over
+**one** store root — are compared against ``N`` concurrent *independent*
+cold runs of the identical spec (separate store roots, so no artifact or
+result can be shared: the cost profile of N users without the shared
+store).
+
+With the lock-or-wait protocol, the duplicate leg performs **exactly one
+execution and one result publication** (asserted via session/store
+counters — the PR acceptance criterion); the other N-1 submissions wait
+on the in-flight lock and are served the publication bit-identically.
+The measured wall-clock ratio is the ``service_dedup`` gain recorded in
+``BENCH_rb.json`` and enforced one-sidedly against the committed
+baseline.
+"""
+
+import os
+import threading
+import time
+
+from repro.session import RBSpec, Session
+from repro.store import ArtifactStore
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Number of concurrent duplicate submissions (the "N users" of the spec).
+N_SUBMISSIONS = 3 if SMOKE else 4
+
+
+def _bench_spec() -> RBSpec:
+    if SMOKE:
+        return RBSpec(device="montreal", qubits=(0,), lengths=(1, 4, 8),
+                      n_seeds=1, shots=100, seed=2022)
+    return RBSpec(device="montreal", qubits=(0,), lengths=(1, 16, 48, 96, 160, 240),
+                  n_seeds=6, shots=400, seed=2022)
+
+
+def _run_concurrent(spec: RBSpec, roots: list) -> dict:
+    """Run the spec once per root on concurrent threads; gather evidence."""
+    barrier = threading.Barrier(len(roots))
+    results: list = [None] * len(roots)
+    stats: list = [None] * len(roots)
+    stores = [ArtifactStore(root) for root in roots]
+
+    def run(index: int) -> None:
+        with Session(store=stores[index], num_workers=1) as session:
+            barrier.wait()
+            results[index] = session.run(spec)
+            stats[index] = dict(session.stats)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(len(roots))]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return {
+        "wall_clock_s": wall,
+        "executions": sum(s["executions"] for s in stats),
+        "dedup_waits": sum(s.get("dedup_waits", 0) for s in stats),
+        "result_writes": sum(st.namespace_stats("results")["writes"] for st in stores),
+        "payload_fingerprints": {r.payload_fingerprint() for r in results},
+    }
+
+
+def _duplicate_vs_independent(root) -> dict:
+    """N duplicate submissions on one root vs N independents on N roots."""
+    from repro.benchmarking.clifford import clifford_group
+
+    spec = _bench_spec()
+    # warm the process-wide group cache so the measurement is independent
+    # of bench ordering (running after other benches must not change it);
+    # both legs then pay identical in-process costs and the ratio
+    # isolates the dedup protocol
+    clifford_group(len(spec.qubits))
+    # independent leg first (separate roots: nothing shared, all cold)
+    independent = _run_concurrent(
+        spec, [root / f"independent-{i}" for i in range(N_SUBMISSIONS)]
+    )
+    # duplicate leg: one shared root, the in-flight protocol deduplicates
+    duplicate = _run_concurrent(spec, [root / "shared"] * N_SUBMISSIONS)
+    fingerprints = independent["payload_fingerprints"] | duplicate["payload_fingerprints"]
+    return {
+        "n_submissions": N_SUBMISSIONS,
+        "independent_wall_clock_s": independent["wall_clock_s"],
+        "independent_executions": independent["executions"],
+        "dedup_wall_clock_s": duplicate["wall_clock_s"],
+        "dedup_executions": duplicate["executions"],
+        "dedup_waits": duplicate["dedup_waits"],
+        "dedup_result_writes": duplicate["result_writes"],
+        "dedup_gain": independent["wall_clock_s"] / duplicate["wall_clock_s"],
+        "payload_abs_diff": 0.0 if len(fingerprints) == 1 else 1.0,
+    }
+
+
+def test_service_dedup(benchmark, save_results, bench_metrics, tmp_path):
+    data = benchmark.pedantic(
+        _duplicate_vs_independent, args=(tmp_path,), rounds=1, iterations=1
+    )
+    # correctness: every submission, duplicate or independent, yields the
+    # bit-identical payload...
+    assert data["payload_abs_diff"] == 0.0
+    # ...the independent leg executed N times (no cross-root sharing)...
+    assert data["independent_executions"] == N_SUBMISSIONS
+    # ...and the duplicate leg is the acceptance criterion: exactly one
+    # execution and one publication across N concurrent submissions
+    assert data["dedup_executions"] == 1
+    assert data["dedup_result_writes"] == 1
+    if not SMOKE:
+        # acceptance: dedup must be a measurable win over N cold runs
+        assert data["dedup_gain"] >= 1.5, (
+            f"service dedup gain regressed: {data['dedup_gain']:.2f}x"
+        )
+    bench_metrics["service_dedup"] = {
+        "independent_wall_clock_s": data["independent_wall_clock_s"],
+        "dedup_wall_clock_s": data["dedup_wall_clock_s"],
+        "dedup_gain": data["dedup_gain"],
+        "dedup_executions": data["dedup_executions"],
+        "dedup_result_writes": data["dedup_result_writes"],
+        "payload_abs_diff": data["payload_abs_diff"],
+    }
+    save_results("service_dedup", data)

@@ -10,15 +10,20 @@ standard library:
 * every relative Markdown link in every page resolves to an existing file
   (anchors are checked for the ``file.md#anchor`` form against generated
   heading slugs),
+* every relative link in the top-level ``README.md`` resolves (files and
+  ``docs/*.md`` pages alike),
 * no page is orphaned (present in ``docs/`` but absent from the nav),
 * fenced code blocks are balanced.
 
-Exit code 1 on any failure; used by ``tests/test_docs.py`` and by the CI
-docs job ahead of the real mkdocs build.
+``--links`` restricts the run to link/anchor integrity only (the
+dedicated CI link-check step); the default runs everything.  Exit code 1
+on any failure; used by ``tests/test_docs.py`` and by the CI docs job
+ahead of the real mkdocs build.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -61,21 +66,99 @@ def heading_anchors(text: str) -> set[str]:
     return anchors
 
 
-def check_docs() -> list[str]:
-    """Run every check; return a list of human-readable failures."""
+def check_relative_links(
+    text: str,
+    base_dir: Path,
+    label: str,
+    own_anchors: set[str] | None = None,
+    anchors_by_page: dict[str, set[str]] | None = None,
+) -> list[str]:
+    """Relative-link/anchor integrity of one Markdown document.
+
+    The single implementation behind both the in-site page checks and the
+    README check, so the resolution rules can never diverge.
+
+    Parameters
+    ----------
+    text : str
+        The document's Markdown source.
+    base_dir : Path
+        Directory relative link targets resolve against.
+    label : str
+        Document name used in failure messages.
+    own_anchors : set of str, optional
+        Heading slugs of the document itself (validates ``#anchor``
+        same-page links; ``None`` derives them from ``text``).
+    anchors_by_page : dict, optional
+        Pre-computed heading slugs per target page file name (cache);
+        missing pages are parsed on demand.
+    """
+    failures: list[str] = []
+    if own_anchors is None:
+        own_anchors = heading_anchors(text)
+    anchors_by_page = anchors_by_page or {}
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if not file_part:  # same-page anchor
+            if anchor and anchor not in own_anchors:
+                failures.append(f"{label}: broken same-page anchor #{anchor}")
+            continue
+        target_path = (base_dir / file_part).resolve()
+        if not target_path.exists():
+            failures.append(f"{label}: broken link to {target}")
+            continue
+        if anchor and target_path.suffix == ".md":
+            anchors = anchors_by_page.get(target_path.name)
+            if anchors is None:
+                anchors = heading_anchors(target_path.read_text())
+            if anchor not in anchors:
+                failures.append(f"{label}: broken anchor {target}")
+    return failures
+
+
+def check_readme_links() -> list[str]:
+    """Relative-link integrity of the top-level ``README.md``.
+
+    The README links into ``docs/`` and repo files with repo-root-relative
+    targets; every one must resolve (anchored ``docs/*.md`` links are
+    checked against the target page's heading slugs, like in-site links).
+    """
+    readme = REPO_ROOT / "README.md"
+    if not readme.exists():
+        return ["README.md not found"]
+    return check_relative_links(readme.read_text(), REPO_ROOT, "README.md")
+
+
+def check_docs(scope: str = "all") -> list[str]:
+    """Run every check (or only the link checks); return the failures.
+
+    Parameters
+    ----------
+    scope : str
+        ``"all"`` (default) runs nav/orphan/fence *and* link checks;
+        ``"links"`` runs only relative-link and anchor integrity across
+        ``docs/*.md`` and ``README.md`` — the dedicated CI link-check
+        step.
+    """
     failures: list[str] = []
     if not MKDOCS_YML.exists():
         return ["mkdocs.yml not found"]
     pages = nav_pages()
-    if not pages:
-        failures.append("mkdocs.yml nav lists no pages")
-    for page in pages:
-        if not (DOCS_DIR / page).exists():
-            failures.append(f"nav page missing on disk: docs/{page}")
-    on_disk = {p.name for p in DOCS_DIR.glob("*.md")}
-    orphans = on_disk - set(pages)
-    for orphan in sorted(orphans):
-        failures.append(f"page not listed in mkdocs.yml nav: docs/{orphan}")
+    if scope == "links":
+        # link scope still needs every on-disk page, nav-listed or not
+        pages = sorted({p.name for p in DOCS_DIR.glob("*.md")} | set(pages))
+    else:
+        if not pages:
+            failures.append("mkdocs.yml nav lists no pages")
+        for page in pages:
+            if not (DOCS_DIR / page).exists():
+                failures.append(f"nav page missing on disk: docs/{page}")
+        on_disk = {p.name for p in DOCS_DIR.glob("*.md")}
+        orphans = on_disk - set(pages)
+        for orphan in sorted(orphans):
+            failures.append(f"page not listed in mkdocs.yml nav: docs/{orphan}")
 
     anchors_by_page = {
         page: heading_anchors((DOCS_DIR / page).read_text())
@@ -87,35 +170,38 @@ def check_docs() -> list[str]:
         if not path.exists():
             continue
         text = path.read_text()
-        if text.count("```") % 2:
+        if scope != "links" and text.count("```") % 2:
             failures.append(f"{page}: unbalanced fenced code block")
-        for target in _LINK_RE.findall(text):
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
-            file_part, _, anchor = target.partition("#")
-            if not file_part:  # same-page anchor
-                if anchor and anchor not in anchors_by_page.get(page, set()):
-                    failures.append(f"{page}: broken same-page anchor #{anchor}")
-                continue
-            target_path = (path.parent / file_part).resolve()
-            if not target_path.exists():
-                failures.append(f"{page}: broken link to {target}")
-                continue
-            if anchor and target_path.suffix == ".md":
-                rel = target_path.name
-                if anchor not in anchors_by_page.get(rel, heading_anchors(target_path.read_text())):
-                    failures.append(f"{page}: broken anchor {target}")
+        failures.extend(
+            check_relative_links(
+                text,
+                path.parent,
+                page,
+                own_anchors=anchors_by_page.get(page, set()),
+                anchors_by_page=anchors_by_page,
+            )
+        )
+    failures.extend(check_readme_links())
     return failures
 
 
-def main() -> int:
+def main(argv=None) -> int:
     """CLI entry point: print failures, return a shell exit code."""
-    failures = check_docs()
+    parser = argparse.ArgumentParser(description="Dependency-free docs checker.")
+    parser.add_argument(
+        "--links",
+        action="store_true",
+        help="check only relative-link/anchor integrity (docs/*.md + README.md)",
+    )
+    args = parser.parse_args(argv)
+    scope = "links" if args.links else "all"
+    failures = check_docs(scope=scope)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
         return 1
-    print(f"docs check passed ({len(nav_pages())} pages)")
+    what = "link check" if args.links else "docs check"
+    print(f"{what} passed ({len(nav_pages())} nav pages)")
     return 0
 
 

@@ -27,6 +27,12 @@ built from scratch on NumPy/SciPy:
                         GRAPE pulses and the spec-fingerprint result
                         cache, with a ``python -m repro.store``
                         maintenance CLI (see docs/caching.md)
+* ``repro.service``   — the multi-session experiment service daemon:
+                        HTTP spec submission, a restart-durable job
+                        queue, worker sessions over one shared store,
+                        exactly-once cross-process execution and bounded
+                        result retention; run it with
+                        ``python -m repro.service`` (see docs/service.md)
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
@@ -45,6 +51,7 @@ __all__ = [
     "experiments",
     "session",
     "store",
+    "service",
     "utils",
     "__version__",
 ]

@@ -1,0 +1,47 @@
+"""The multi-session experiment service daemon (``repro.service``).
+
+The library's many-user serving layer: a long-running daemon that accepts
+:class:`~repro.session.specs.ExperimentSpec` submissions over a stdlib
+HTTP API, journals them in a restart-durable SQLite job queue, and
+executes them through a pool of :class:`~repro.session.session.Session`
+workers sharing one :class:`~repro.store.ArtifactStore` — so every
+store-level guarantee (content-addressed caching, exactly-once
+publication, **exactly-once execution** via the in-flight lock-or-wait
+protocol, bounded result retention) holds across all users of the daemon
+and across daemon restarts.
+
+Pieces:
+
+* :mod:`~repro.service.queue` — :class:`JobQueue`, the SQLite-journaled
+  job store (``queued → running → done | failed``; restart recovery),
+* :mod:`~repro.service.workers` — :class:`WorkerPool`, N worker threads
+  each owning a session over the shared store,
+* :mod:`~repro.service.http` — the JSON endpoints
+  (``POST/GET /v1/experiments``, ``GET /v1/store/stats``, ``/healthz``),
+* :mod:`~repro.service.daemon` — :class:`ExperimentService` +
+  :class:`ServiceConfig`, composing the above with a background GC sweep,
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the thin
+  ``urllib`` client returning first-class ``ExperimentResult`` objects,
+* :mod:`~repro.service.smoke` — the self-contained end-to-end check CI
+  boots (``python -m repro.service.smoke``).
+
+Run the daemon with ``python -m repro.service`` (see ``docs/service.md``
+for the API reference and ``docs/operations.md`` for deployment).
+"""
+
+from .client import JobFailedError, ServiceClient, ServiceError
+from .daemon import ExperimentService, ServiceConfig
+from .queue import JOB_STATUSES, Job, JobQueue
+from .workers import WorkerPool
+
+__all__ = [
+    "ExperimentService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "JobFailedError",
+    "JobQueue",
+    "Job",
+    "JOB_STATUSES",
+    "WorkerPool",
+]

@@ -1,0 +1,89 @@
+"""Command-line entry point of the experiment service daemon.
+
+Usage::
+
+    python -m repro.service [--host HOST] [--port PORT] [--root PATH]
+        [--queue PATH] [--workers N] [--session-num-workers N]
+        [--gc-interval SECONDS] [--results-max-bytes N]
+        [--results-max-age SECONDS]
+
+Without ``--root`` the daemon uses the default store location (the same
+``store="auto"`` resolution as everywhere else: ``$REPRO_STORE_DIR``, else
+``$XDG_CACHE_HOME/repro/store``, else ``~/.cache/repro/store``).  The job
+queue defaults to ``<store root>/service/queue.sqlite3`` and survives
+restarts — queued jobs resume, running jobs are re-queued.
+
+The process runs in the foreground until interrupted (Ctrl-C / SIGTERM);
+see ``docs/operations.md`` for supervision and deployment guidance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from .daemon import ExperimentService, ServiceConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The daemon's argument parser (shared with the docs examples)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the multi-session experiment service daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="HTTP bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="HTTP port (default: 8765; 0 binds an ephemeral port)")
+    parser.add_argument("--root", default="auto",
+                        help="artifact-store root (default: the store='auto' resolution)")
+    parser.add_argument("--queue", default=None,
+                        help="job-queue database path (default: <store root>/service/queue.sqlite3)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker-session threads (default: 2)")
+    parser.add_argument("--session-num-workers", type=int, default=1,
+                        help="per-experiment process fan-out of each worker (default: 1)")
+    parser.add_argument("--gc-interval", type=float, default=None, metavar="SECONDS",
+                        help="period of the background store-GC sweep (default: off)")
+    parser.add_argument("--results-max-bytes", type=int, default=None,
+                        help="result-cache size bound applied by the sweep")
+    parser.add_argument("--results-max-age", type=float, default=None, metavar="SECONDS",
+                        help="result-cache age bound applied by the sweep")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a shell exit code."""
+    args = build_parser().parse_args(argv)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store=args.root,
+        queue_path=args.queue,
+        workers=args.workers,
+        session_num_workers=args.session_num_workers,
+        gc_interval_s=args.gc_interval,
+        results_max_bytes=args.results_max_bytes,
+        results_max_age_s=args.results_max_age,
+    )
+    service = ExperimentService(config)
+
+    def _sigterm(signum, frame):
+        # translate SIGTERM into the KeyboardInterrupt serve_forever
+        # handles, so supervised deployments (systemd, docker stop) drain
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    service.start()
+    print(f"repro.service listening on {service.url}")
+    print(f"  store: {service.store.root}")
+    print(f"  queue: {service.queue.path} ({service.recovered_jobs} job(s) recovered)")
+    print(f"  workers: {service.pool.workers}", flush=True)
+    service.serve_forever()
+    print("repro.service stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

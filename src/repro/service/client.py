@@ -1,0 +1,168 @@
+"""A thin HTTP client for the experiment service (stdlib ``urllib``).
+
+:class:`ServiceClient` speaks the daemon's JSON API and converts finished
+jobs back into first-class
+:class:`~repro.session.results.ExperimentResult` objects, so the remote
+round trip is symmetric with the in-process one::
+
+    from repro.session import RBSpec
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job_id = client.submit(RBSpec(device="montreal", qubits=(0,), seed=7))
+    result = client.result(job_id, timeout=300.0)   # poll until done
+    print(result["error_per_clifford"])
+
+Because the daemon executes through ordinary sessions over the shared
+store, a submitted spec's payload is **bit-identical** to running it
+locally through ``Session.run_all`` — asserted by ``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..session.results import ExperimentResult
+from ..session.specs import ExperimentSpec
+
+__all__ = ["ServiceClient", "ServiceError", "JobFailedError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure reported by the service.
+
+    Attributes
+    ----------
+    status : int
+        HTTP status code (0 when the server was unreachable).
+    payload : dict
+        The decoded JSON error document (``{"error": ...}``), if any.
+    """
+
+    def __init__(self, message: str, status: int = 0, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class JobFailedError(ServiceError):
+    """A submitted job finished in the ``failed`` state."""
+
+
+class ServiceClient:
+    """Typed access to one running experiment service.
+
+    Parameters
+    ----------
+    base_url : str
+        The daemon's base URL (``http://host:port``, no trailing slash
+        required).
+    timeout : float
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.base_url!r})"
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One JSON round trip; raises :class:`ServiceError` on failure."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                document = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                document = {}
+            message = document.get("error", f"HTTP {exc.code} on {method} {path}")
+            raise ServiceError(message, status=exc.code, payload=document) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The daemon's ``/healthz`` document."""
+        return self._request("GET", "/healthz")
+
+    def store_stats(self) -> dict:
+        """The shared store's counters and disk footprint."""
+        return self._request("GET", "/v1/store/stats")
+
+    def submit(self, spec: ExperimentSpec | dict) -> str:
+        """Submit one spec (object or ``to_dict`` payload); returns the job id."""
+        payload = spec.to_dict() if isinstance(spec, ExperimentSpec) else dict(spec)
+        return self._request("POST", "/v1/experiments", payload)["id"]
+
+    def status(self, job_id: str) -> dict:
+        """The job document of one id (404 → :class:`ServiceError`)."""
+        return self._request("GET", f"/v1/experiments/{job_id}")
+
+    def jobs(self, status: str | None = None, limit: int = 100) -> list[dict]:
+        """Recent job documents, newest first (results omitted)."""
+        query = f"?limit={int(limit)}" + (f"&status={status}" if status else "")
+        return self._request("GET", f"/v1/experiments{query}")["jobs"]
+
+    def result(
+        self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2
+    ) -> ExperimentResult:
+        """Poll one job to completion and return its result.
+
+        Parameters
+        ----------
+        job_id : str
+            As returned by :meth:`submit`.
+        timeout : float
+            Overall seconds to wait before raising :class:`TimeoutError`.
+        poll_s : float
+            Seconds between status polls.
+
+        Returns
+        -------
+        ExperimentResult
+            The finished result — payload bit-identical to a local run of
+            the same spec (lossless JSON round trip).
+
+        Raises
+        ------
+        JobFailedError
+            When the job finished ``failed`` (message carries the error).
+        TimeoutError
+            When the job is still pending after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.status(job_id)
+            state = document["status"]
+            if state == "done":
+                return ExperimentResult.from_json(json.dumps(document["result"]))
+            if state == "failed":
+                raise JobFailedError(
+                    document.get("error", "job failed"), payload=document
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state!r} after {timeout:g}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,305 @@
+""":class:`ExperimentService` — the multi-session experiment daemon.
+
+Composes the service out of the pieces this package and the layers below
+provide:
+
+* one shared :class:`~repro.store.ArtifactStore` (every cache, lock and
+  counter goes through it),
+* a restart-durable :class:`~repro.service.queue.JobQueue` (SQLite WAL),
+* a :class:`~repro.service.workers.WorkerPool` of ``Session``s executing
+  claimed jobs,
+* the stdlib HTTP API of :mod:`repro.service.http`,
+* an optional background GC sweep applying the store's bounded result
+  retention (``prune(results_max_bytes=, results_max_age=)``).
+
+Start it programmatically::
+
+    from repro.service import ExperimentService, ServiceConfig
+
+    config = ServiceConfig(store="auto", port=8765, workers=2)
+    with ExperimentService(config) as service:
+        print(service.url)          # http://127.0.0.1:8765
+        service.serve_forever()     # until KeyboardInterrupt
+
+or from the command line: ``python -m repro.service`` (see
+``docs/operations.md`` for deployment guidance).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .http import make_server
+from .queue import JobQueue
+from .workers import WorkerPool
+from ..store import resolve_store
+from ..utils.locks import FileLock
+from ..utils.validation import ValidationError
+
+__all__ = ["ServiceConfig", "ExperimentService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Static configuration of one :class:`ExperimentService`.
+
+    Attributes
+    ----------
+    host, port : str, int
+        HTTP bind address (``port=0`` binds an ephemeral port — useful in
+        tests; read the resolved port from :attr:`ExperimentService.port`).
+    store : str or Path or ArtifactStore
+        Persistent-store selector (``"auto"`` | path | instance).  The
+        service *requires* persistence — the store is its shared state —
+        so ``None``/``False`` are rejected.
+    queue_path : str or Path, optional
+        Job-database file; defaults to ``<store root>/service/queue.sqlite3``
+        so the queue lives (and survives) next to the artifacts.
+    workers : int
+        Worker-session threads (0 = accept-only: jobs queue durably and
+        wait for a pool).
+    session_num_workers : int
+        Per-experiment process fan-out of each worker session.
+    gc_interval_s : float, optional
+        Period of the background store-GC sweep; ``None`` disables it
+        (the CLI `prune` remains available).
+    results_max_bytes : int, optional
+        Size bound handed to the sweep (see ``ArtifactStore.prune``).
+    results_max_age_s : float, optional
+        Age bound handed to the sweep.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    store: object = "auto"
+    queue_path: str | Path | None = None
+    workers: int = 2
+    session_num_workers: int = 1
+    gc_interval_s: float | None = None
+    results_max_bytes: int | None = None
+    results_max_age_s: float | None = None
+
+
+class ExperimentService:
+    """The daemon: queue + worker pool + HTTP API over one shared store.
+
+    Parameters
+    ----------
+    config : ServiceConfig
+        Static configuration (bind address, store root, pool sizing, GC
+        policy).
+
+    Notes
+    -----
+    ``start()``/``stop()`` are explicit (and idempotent); the context
+    manager form wraps them.  Everything the daemon does is observable
+    from the outside: ``/healthz`` aggregates the worker sessions'
+    counters and the queue's per-status job counts, ``/v1/store/stats``
+    exposes the shared store's namespace counters and disk footprint.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise ValidationError("pass either a ServiceConfig or keyword overrides, not both")
+        self.config = config
+        self.store = resolve_store(config.store)
+        if self.store is None:
+            raise ValidationError(
+                "the experiment service requires a persistent store "
+                "(store='auto', a path, or an ArtifactStore instance)"
+            )
+        queue_path = (
+            Path(config.queue_path)
+            if config.queue_path is not None
+            else self.store.root / "service" / "queue.sqlite3"
+        )
+        self.queue = JobQueue(queue_path)
+        self.pool = WorkerPool(
+            self.queue,
+            self.store,
+            workers=config.workers,
+            session_num_workers=config.session_num_workers,
+        )
+        self._server = None
+        self._server_thread: threading.Thread | None = None
+        self._gc_thread: threading.Thread | None = None
+        self._gc_stop = threading.Event()
+        self._queue_owner: FileLock | None = None
+        self._started_at: float | None = None
+        self.recovered_jobs = 0
+        #: Outcome of the most recent background GC sweep (observability).
+        self.last_gc: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ExperimentService":
+        """Recover the queue, start workers, GC sweep and the HTTP server.
+
+        Raises
+        ------
+        ValidationError
+            When another daemon already owns this queue database — the
+            queue is single-daemon by design (see ``docs/operations.md``);
+            scaling out means several daemons with *distinct* ``--queue``
+            paths over one store root.  Failing fast here prevents a
+            second daemon's boot-time recovery from re-queueing jobs the
+            live daemon is executing.
+        """
+        if self._server is not None:
+            return self
+        owner = FileLock(self.queue.path.with_name(self.queue.path.name + ".owner"))
+        try:
+            owner.acquire(timeout=0)
+        except TimeoutError:
+            raise ValidationError(
+                f"job queue {self.queue.path} is owned by a running daemon; "
+                "give this instance its own queue path (--queue)"
+            ) from None
+        self._queue_owner = owner
+        try:
+            self.queue.ensure_open()  # restarting a stopped instance reconnects
+            self.recovered_jobs = self.queue.recover()
+            self.pool.start()
+            if self.config.gc_interval_s is not None:
+                self._gc_stop.clear()
+                self._gc_thread = threading.Thread(
+                    target=self._gc_loop, name="repro-service-gc", daemon=True
+                )
+                self._gc_thread.start()
+            self._server = make_server(self.config.host, self.config.port, self)
+        except BaseException:
+            owner.release()
+            self._queue_owner = None
+            raise
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._started_at = time.time()
+        return self
+
+    def stop(self) -> None:
+        """Shut everything down in dependency order (idempotent).
+
+        The HTTP server stops accepting first, then the workers drain
+        their current jobs, then the GC thread and the queue close.  A job
+        still running at shutdown is re-queued by :meth:`JobQueue.recover`
+        on the next start — nothing is lost.
+        """
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=10.0)
+            self._server_thread = None
+        self.pool.stop()
+        self._gc_stop.set()
+        if self._gc_thread is not None:
+            self._gc_thread.join(timeout=10.0)
+            self._gc_thread = None
+        self.queue.close()
+        if self._queue_owner is not None:
+            self._queue_owner.release()
+            self._queue_owner = None
+        self._started_at = None
+
+    def __enter__(self) -> "ExperimentService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (SIGINT/KeyboardInterrupt), then stop."""
+        try:
+            while self._server is not None:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------ #
+    # addresses
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        """The bound HTTP port (resolves ``port=0`` to the real one)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use (``http://host:port``)."""
+        return f"http://{self.config.host}:{self.port}"
+
+    def __repr__(self) -> str:
+        state = "running" if self._server is not None else "stopped"
+        return (
+            f"ExperimentService({self.url}, store={str(self.store.root)!r}, "
+            f"workers={self.pool.workers}, {state})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # observability (the HTTP handler calls these)
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The ``/healthz`` document: liveness plus the proof counters."""
+        return {
+            "status": "ok",
+            "uptime_s": (time.time() - self._started_at) if self._started_at else 0.0,
+            "workers": self.pool.workers,
+            "jobs": self.queue.counts(),
+            "recovered_jobs": self.recovered_jobs,
+            "sessions": self.pool.aggregate_stats(),
+            "store_root": str(self.store.root),
+            "queue_path": str(self.queue.path),
+            "last_gc": self.last_gc,
+        }
+
+    def store_stats(self) -> dict:
+        """The ``/v1/store/stats`` document: counters + disk footprint."""
+        return {
+            "root": str(self.store.root),
+            "stats": self.store.stats,
+            "disk": self.store.disk_stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # background GC
+    # ------------------------------------------------------------------ #
+    def _gc_loop(self) -> None:
+        """Periodic ``store.prune`` applying the configured result bounds."""
+        interval = float(self.config.gc_interval_s)
+        while not self._gc_stop.wait(timeout=interval):
+            self.sweep()
+
+    def sweep(self) -> dict:
+        """One GC sweep now (also what the background loop runs).
+
+        Returns (and records in :attr:`last_gc`) the number of files
+        removed and the sweep wall clock; failures are recorded, never
+        raised — a GC hiccup must not take the daemon down.
+        """
+        started = time.time()
+        try:
+            removed = self.store.prune(
+                results_max_bytes=self.config.results_max_bytes,
+                results_max_age=self.config.results_max_age_s,
+            )
+            self.last_gc = {
+                "at": started, "removed": removed, "wall_s": time.time() - started,
+            }
+        except Exception as exc:  # noqa: BLE001 - sweep isolation boundary
+            self.last_gc = {"at": started, "error": f"{type(exc).__name__}: {exc}"}
+        return self.last_gc

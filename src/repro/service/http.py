@@ -1,0 +1,165 @@
+"""The daemon's HTTP API (stdlib ``http.server``, threaded).
+
+Four endpoints, all JSON (see ``docs/service.md`` for the full reference):
+
+=======  ==========================  =========================================
+method   path                        semantics
+=======  ==========================  =========================================
+POST     ``/v1/experiments``         submit a spec ``to_dict()`` payload →
+                                     ``201 {"id", "status", "fingerprint"}``
+GET      ``/v1/experiments/<id>``    job status/result → ``200`` (``404``
+                                     for unknown ids)
+GET      ``/v1/experiments``         recent jobs (``?status=`` filter,
+                                     ``?limit=``), result documents omitted
+GET      ``/v1/store/stats``         shared-store counters + disk footprint
+GET      ``/healthz``                liveness: uptime, workers, job counts,
+                                     aggregated session counters
+=======  ==========================  =========================================
+
+Specs are validated *at submission time* by round-tripping through
+:func:`repro.session.specs.spec_from_dict` — a malformed payload is a
+``400`` with the validation message, and never reaches the queue.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..session.specs import spec_from_dict
+from ..utils.validation import ValidationError
+
+__all__ = ["ServiceRequestHandler", "make_server"]
+
+#: Request bodies above this many bytes are rejected (413) before parsing.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _PayloadTooLarge(Exception):
+    """Internal: request body exceeded :data:`MAX_BODY_BYTES` (HTTP 413)."""
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the service's HTTP API onto the owning daemon.
+
+    The handler reaches the daemon through ``self.server.service`` (set by
+    :func:`make_server`); it holds no state of its own.
+    """
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (the daemon logs lifecycle)."""
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValidationError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            # drain (bounded chunks, nothing kept) so the client finishes
+            # its upload and reads a clean 413 instead of a broken pipe
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise _PayloadTooLarge(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        """Dispatch GET endpoints (health, store stats, job inspection)."""
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/") or "/"
+        service = self.server.service
+        if path == "/healthz":
+            self._send_json(200, service.health())
+            return
+        if path == "/v1/store/stats":
+            self._send_json(200, service.store_stats())
+            return
+        if path == "/v1/experiments":
+            query = parse_qs(url.query)
+            try:
+                jobs = service.queue.jobs(
+                    status=(query.get("status") or [None])[0],
+                    limit=int((query.get("limit") or ["100"])[0]),
+                )
+            except (ValidationError, ValueError) as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self._send_json(
+                200, {"jobs": [job.to_public_dict(include_result=False) for job in jobs]}
+            )
+            return
+        if path.startswith("/v1/experiments/"):
+            job_id = path[len("/v1/experiments/"):]
+            job = service.queue.get(job_id)
+            if job is None:
+                self._send_json(404, {"error": f"unknown job id {job_id!r}"})
+                return
+            self._send_json(200, job.to_public_dict())
+            return
+        self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        """Dispatch POST endpoints (spec submission)."""
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/v1/experiments":
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+            return
+        try:
+            payload = self._read_json_body()
+            spec = spec_from_dict(payload)  # full validation before queueing
+        except _PayloadTooLarge as exc:
+            self._send_json(413, {"error": str(exc)})
+            return
+        except ValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 - surface constructor errors as 400
+            self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        job_id = self.server.service.queue.submit(spec.to_dict())
+        self._send_json(
+            201,
+            {
+                "id": job_id,
+                "status": "queued",
+                "kind": spec.kind,
+                "fingerprint": spec.fingerprint(),
+                "cache_fingerprint": spec.cache_fingerprint(),
+            },
+        )
+
+
+def make_server(host: str, port: int, service) -> ThreadingHTTPServer:
+    """A threaded HTTP server bound to ``host:port`` serving ``service``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``); threads are daemonic so a hung client
+    never blocks daemon shutdown.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.daemon_threads = True
+    server.service = service
+    return server

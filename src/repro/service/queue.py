@@ -1,0 +1,315 @@
+"""The persistent job queue behind the experiment service daemon.
+
+Jobs — submitted experiment specs plus their lifecycle state — are
+journaled in a single SQLite database (WAL mode), so the queue survives
+daemon restarts: queued jobs are still queued, finished jobs keep their
+result document, and jobs that were *running* when the process died are
+re-queued by :meth:`JobQueue.recover` on the next boot (their ``attempts``
+counter records the retry).
+
+The queue is intentionally single-writer-process: one daemon owns the
+database, its HTTP threads submit and its worker threads claim, all
+serialized on one in-process lock around a shared connection.  Restart
+durability comes from SQLite's journal, not from multi-process access —
+cross-process coordination of the *work itself* happens one layer down, on
+the artifact store's in-flight locks (see ``docs/service.md``).
+
+Job lifecycle::
+
+    queued ──claim()──▶ running ──complete()──▶ done
+       ▲                   │
+       │                   ├──fail()──▶ failed
+       └───recover()───────┘   (daemon restart re-queues running jobs)
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..utils.validation import ValidationError
+
+__all__ = ["Job", "JobQueue", "JOB_STATUSES"]
+
+#: The four job lifecycle states, in progression order.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            TEXT PRIMARY KEY,
+    spec          TEXT NOT NULL,
+    status        TEXT NOT NULL,
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    error         TEXT,
+    result        TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, submitted_at);
+"""
+
+_COLUMNS = (
+    "id", "spec", "status", "submitted_at", "started_at", "finished_at",
+    "attempts", "error", "result",
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One submitted experiment: its spec, lifecycle state and outcome.
+
+    Attributes
+    ----------
+    id : str
+        Opaque job identifier (returned by ``POST /v1/experiments``).
+    spec : dict
+        The submitted spec's ``to_dict`` form (validated on submission).
+    status : str
+        One of :data:`JOB_STATUSES`.
+    submitted_at, started_at, finished_at : float or None
+        Unix timestamps of the lifecycle transitions.
+    attempts : int
+        How many times the job has been claimed by a worker (> 1 after a
+        restart-recovery or retry).
+    error : str or None
+        Failure message (``failed`` jobs only).
+    result_json : str or None
+        The finished :class:`~repro.session.results.ExperimentResult`
+        document (``done`` jobs only).
+    """
+
+    id: str
+    spec: dict
+    status: str
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+    attempts: int
+    error: str | None
+    result_json: str | None
+
+    def to_public_dict(self, include_result: bool = True) -> dict:
+        """The job as the HTTP API reports it (``GET /v1/experiments/<id>``)."""
+        payload = {
+            "id": self.id,
+            "status": self.status,
+            "spec": self.spec,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if include_result and self.result_json is not None:
+            payload["result"] = json.loads(self.result_json)
+        return payload
+
+
+def _row_to_job(row: tuple) -> Job:
+    values = dict(zip(_COLUMNS, row))
+    values["spec"] = json.loads(values["spec"])
+    values["result_json"] = values.pop("result")
+    return Job(**values)
+
+
+class JobQueue:
+    """SQLite-journaled FIFO of experiment jobs (restart-durable).
+
+    Parameters
+    ----------
+    path : str or Path
+        Database file (created, with parents, on first use).  The WAL
+        journal keeps every transition durable across daemon restarts.
+
+    Notes
+    -----
+    All operations serialize on one in-process lock around a single
+    connection (``check_same_thread=False``): the queue is owned by one
+    daemon process whose HTTP and worker threads share it.  Workers block
+    in :meth:`wait` on an internal condition that :meth:`submit` notifies,
+    so an idle pool wakes immediately on submission instead of polling.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._new_job = threading.Condition(self._lock)
+        self._closed = True
+        with self._lock:
+            self._connect()
+
+    def _connect(self) -> None:
+        """(Re-)establish the connection; caller holds ``self._lock``."""
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._closed = False
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._closed = True
+            try:
+                self._conn.close()
+            except sqlite3.ProgrammingError:  # already closed
+                pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether the connection is currently closed."""
+        return self._closed
+
+    def ensure_open(self) -> None:
+        """Reconnect after a :meth:`close` (same path, same journal).
+
+        Lets one daemon object be stopped and started again in-process:
+        ``ExperimentService.start`` calls this before recovery, so the
+        restart path works on the same instance exactly as it does on a
+        fresh one.
+        """
+        with self._lock:
+            if self._closed:
+                self._connect()
+
+    def __repr__(self) -> str:
+        return f"JobQueue(path={str(self.path)!r})"
+
+    # ------------------------------------------------------------------ #
+    # submission / claiming
+    # ------------------------------------------------------------------ #
+    def submit(self, spec_dict: dict) -> str:
+        """Enqueue one spec (its ``to_dict`` form); returns the job id."""
+        if not isinstance(spec_dict, dict) or "kind" not in spec_dict:
+            raise ValidationError("job spec must be a spec to_dict() payload with a 'kind'")
+        job_id = uuid.uuid4().hex[:16]
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs (id, spec, status, submitted_at, attempts)"
+                " VALUES (?, ?, 'queued', ?, 0)",
+                (job_id, json.dumps(spec_dict, sort_keys=True), time.time()),
+            )
+            self._conn.commit()
+            self._new_job.notify_all()
+        return job_id
+
+    def claim(self) -> Job | None:
+        """Atomically flip the oldest queued job to ``running`` (or None)."""
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE status = 'queued'"
+                " ORDER BY submitted_at, rowid LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            job = _row_to_job(row)
+            now = time.time()
+            self._conn.execute(
+                "UPDATE jobs SET status = 'running', started_at = ?,"
+                " attempts = attempts + 1 WHERE id = ?",
+                (now, job.id),
+            )
+            self._conn.commit()
+            return replace(
+                job, status="running", started_at=now, attempts=job.attempts + 1
+            )
+
+    def wait(self, timeout: float) -> None:
+        """Block up to ``timeout`` seconds for a submission notification."""
+        with self._new_job:
+            self._new_job.wait(timeout=timeout)
+
+    def kick(self) -> None:
+        """Wake every :meth:`wait`-blocked worker (used on shutdown)."""
+        with self._new_job:
+            self._new_job.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # completion
+    # ------------------------------------------------------------------ #
+    def complete(self, job_id: str, result_json: str) -> None:
+        """Mark one running job ``done``, storing its result document."""
+        self._finish(job_id, "done", result=result_json)
+
+    def fail(self, job_id: str, error: str) -> None:
+        """Mark one running job ``failed``, storing the error message."""
+        self._finish(job_id, "failed", error=error)
+
+    def _finish(self, job_id: str, status: str,
+                result: str | None = None, error: str | None = None) -> None:
+        with self._lock:
+            updated = self._conn.execute(
+                "UPDATE jobs SET status = ?, finished_at = ?, result = ?, error = ?"
+                " WHERE id = ?",
+                (status, time.time(), result, error, job_id),
+            ).rowcount
+            self._conn.commit()
+        if not updated:
+            raise KeyError(f"unknown job id {job_id!r}")
+
+    # ------------------------------------------------------------------ #
+    # inspection / recovery
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Job | None:
+        """The job of one id, or None."""
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return None if row is None else _row_to_job(row)
+
+    def jobs(self, status: str | None = None, limit: int = 100) -> list[Job]:
+        """Recent jobs, newest first (optionally filtered by status)."""
+        query = f"SELECT {', '.join(_COLUMNS)} FROM jobs"
+        params: tuple = ()
+        if status is not None:
+            if status not in JOB_STATUSES:
+                raise ValidationError(
+                    f"unknown job status {status!r}; known: {JOB_STATUSES}"
+                )
+            query += " WHERE status = ?"
+            params = (status,)
+        query += " ORDER BY submitted_at DESC, rowid DESC LIMIT ?"
+        with self._lock:
+            rows = self._conn.execute(query, params + (int(limit),)).fetchall()
+        return [_row_to_job(row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Job counts per lifecycle status (all four keys always present)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+            ).fetchall()
+        counts = {status: 0 for status in JOB_STATUSES}
+        counts.update(dict(rows))
+        return counts
+
+    def recover(self) -> int:
+        """Re-queue jobs left ``running`` by a dead daemon; return the count.
+
+        Called once at service start, *before* any worker claims: a job
+        that was mid-execution when the previous process died goes back to
+        the head of the queue (its ``submitted_at`` is unchanged, so FIFO
+        order is preserved) and will be claimed again.  Re-execution is
+        safe — results are content-addressed, so a re-run either replays
+        the already-published entry from the cache or recomputes the
+        bit-identical payload.
+        """
+        with self._lock:
+            recovered = self._conn.execute(
+                "UPDATE jobs SET status = 'queued', started_at = NULL"
+                " WHERE status = 'running'"
+            ).rowcount
+            self._conn.commit()
+            if recovered:
+                self._new_job.notify_all()
+        return recovered

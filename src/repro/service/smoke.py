@@ -1,0 +1,102 @@
+"""End-to-end smoke check of the service daemon (used by CI).
+
+``python -m repro.service.smoke`` boots a real :class:`ExperimentService`
+on an ephemeral localhost port over a throwaway store, submits the reduced
+Fig. 3 custom-X IRB spec (GRAPE calibration nested) over actual HTTP, and
+asserts the full contract end to end:
+
+* ``/healthz`` answers 200 with ``status: ok``,
+* ``POST /v1/experiments`` answers 201 with a job id,
+* the job reaches ``done`` and its result replays the IRB payload,
+* a duplicate submission of the same spec is served from the result
+  cache (``cache_hit`` provenance, zero additional executions),
+* ``/v1/store/stats`` shows exactly one result write.
+
+Exit code 0 on success, 1 with a diagnostic on any failed expectation —
+the CI ``service-smoke`` job runs exactly this module.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from . import ExperimentService, ServiceClient, ServiceConfig
+from ..session import GRAPESpec, IRBSpec
+
+
+def reduced_fig3_spec() -> IRBSpec:
+    """The reduced-size Fig. 3 custom-X IRB spec (seconds, not minutes)."""
+    calibration = GRAPESpec(
+        device="montreal", gate="x", qubits=(0,), duration_ns=56.0, n_ts=8,
+        include_decoherence=False, max_iter=40, seed=2022,
+    )
+    return IRBSpec(
+        device="montreal", gate="x", qubits=(0,), lengths=(1, 4, 8),
+        n_seeds=2, shots=100, seed=2022, calibration=calibration,
+    )
+
+
+def run_smoke(store_root=None, timeout: float = 300.0) -> int:
+    """Boot, submit, verify; returns a shell exit code (prints progress)."""
+    spec = reduced_fig3_spec()
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as scratch:
+        config = ServiceConfig(
+            host="127.0.0.1", port=0, store=store_root or f"{scratch}/store", workers=1
+        )
+        with ExperimentService(config) as service:
+            client = ServiceClient(service.url)
+            health = client.health()
+            _expect(health.get("status") == "ok", f"healthz not ok: {health}")
+            print(f"healthz ok at {service.url} (workers={health['workers']})")
+
+            started = time.perf_counter()
+            job_id = client.submit(spec)
+            print(f"submitted reduced fig3 spec: job {job_id}")
+            result = client.result(job_id, timeout=timeout, poll_s=0.2)
+            wall = time.perf_counter() - started
+            _expect(client.status(job_id)["status"] == "done", "job did not finish 'done'")
+            _expect(result.kind == "irb", f"unexpected result kind {result.kind!r}")
+            _expect("gate_error" in result.payload, "IRB payload missing gate_error")
+            print(f"finished in {wall:.1f}s: gate_error={result['gate_error']:.3e}")
+
+            replay_id = client.submit(spec)
+            replay = client.result(replay_id, timeout=60.0, poll_s=0.1)
+            _expect(replay.cache_hit, "duplicate submission was not served from the cache")
+            _expect(
+                replay.payload_fingerprint() == result.payload_fingerprint(),
+                "cached replay payload is not bit-identical",
+            )
+            stats = client.store_stats()["stats"]["results"]
+            _expect(
+                stats.get("writes") == 1,
+                f"expected exactly one result write, saw {stats}",
+            )
+            sessions = client.health()["sessions"]
+            _expect(
+                sessions.get("executions") == 1,
+                f"expected exactly one execution, saw {sessions}",
+            )
+            print("cached replay ok (result writes=1, executions=1)")
+    print("service smoke passed")
+    return 0
+
+
+def _expect(condition: bool, message: str) -> None:
+    """Fail fast with a diagnostic on a broken expectation."""
+    if not condition:
+        raise AssertionError(message)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a shell exit code."""
+    try:
+        return run_smoke()
+    except AssertionError as exc:
+        print(f"SMOKE FAIL: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""The daemon's execution side: a pool of worker ``Session``s.
+
+Each worker thread owns one :class:`~repro.session.session.Session`, and
+every session shares the daemon's single
+:class:`~repro.store.ArtifactStore` — so all the store-level guarantees
+compose for free:
+
+* a job whose spec is already cached replays it (zero prep, zero
+  execution),
+* two workers claiming *duplicate* specs coordinate on the result key's
+  in-flight lock (one executes, the other serves the publication — the
+  same lock-or-wait protocol that deduplicates across daemon processes),
+* every artifact a job builds (groups, channel tables, GRAPE pulses,
+  results) is published once and reused by every later job.
+
+Workers pull from the :class:`~repro.service.queue.JobQueue`; a failed
+execution marks the job ``failed`` with the exception message and the
+worker moves on — one bad spec never takes the pool down.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .queue import JobQueue
+from ..session import Session, spec_from_dict
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """N worker threads, each executing queue jobs through its own session.
+
+    Parameters
+    ----------
+    queue : JobQueue
+        The job source (shared with the HTTP submission side).
+    store : ArtifactStore
+        The persistent store **shared by every worker session** — the
+        single root all caching, deduplication and publication goes
+        through.
+    workers : int
+        Number of worker threads (0 is allowed: jobs queue up and survive
+        until a pool with workers attaches, which the restart-resume test
+        exercises).
+    session_num_workers : int
+        The per-experiment process fan-out each worker session uses
+        (``Session(num_workers=...)``); keep it small — service
+        parallelism should come from the worker count, not from deep
+        per-job fan-out.
+    poll_s : float
+        Idle-worker fallback poll of the queue (submissions also notify,
+        so this is a safety net, not the latency floor).
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store,
+        workers: int = 2,
+        session_num_workers: int = 1,
+        poll_s: float = 0.5,
+    ):
+        self.queue = queue
+        self.store = store
+        self.workers = max(0, int(workers))
+        self.session_num_workers = int(session_num_workers)
+        self.poll_s = float(poll_s)
+        self._threads: list[threading.Thread] = []
+        self._sessions: list[Session] = []
+        self._sessions_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        # a FRESH stop event per worker generation: a previous generation's
+        # thread that outlived stop()'s join timeout (stuck in a long job)
+        # still holds its own — permanently set — event, so it exits when
+        # the job finishes instead of resuming claims alongside the new
+        # generation
+        self._stop = threading.Event()
+        with self._sessions_lock:
+            # drop closed sessions of a previous run so a restarted pool's
+            # aggregate_stats reports only the live workers
+            self._sessions.clear()
+        self._threads.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._run_worker,
+                args=(self._stop,),
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal every worker to finish its current job and join them."""
+        self._stop.set()
+        self.queue.kick()  # wake idle workers immediately
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        # threads that outlived the timeout keep their (set) generation
+        # event and die after their current job; they are dropped here
+        self._threads.clear()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def aggregate_stats(self) -> dict[str, int]:
+        """Sum of every worker session's counters (executions, hits, …).
+
+        The daemon's ``/healthz`` exposes this — together with the store's
+        ``results`` write counters it proves the exactly-once contract
+        from the outside: N duplicate submissions show N-1
+        ``cache_hits``/``dedup_waits`` and exactly one ``executions``.
+        """
+        totals: dict[str, int] = {}
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            for counter, value in dict(session.stats).items():
+                totals[counter] = totals.get(counter, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # the worker loop
+    # ------------------------------------------------------------------ #
+    def _run_worker(self, stop: threading.Event) -> None:
+        """One worker thread: claim → execute → record, until stopped.
+
+        ``stop`` is this worker *generation's* event (not read from
+        ``self``), so a restarted pool can never un-stop a straggler from
+        the previous generation.
+        """
+        session = Session(
+            store=self.store, num_workers=self.session_num_workers, max_concurrency=1
+        )
+        with self._sessions_lock:
+            self._sessions.append(session)
+        try:
+            while not stop.is_set():
+                job = self.queue.claim()
+                if job is None:
+                    self.queue.wait(timeout=self.poll_s)
+                    continue
+                self._execute_job(session, job)
+        finally:
+            session.close()
+
+    def _execute_job(self, session: Session, job) -> None:
+        """Run one claimed job; never lets an exception escape the loop."""
+        try:
+            spec = spec_from_dict(job.spec)
+            result = session.run(spec)
+            self.queue.complete(job.id, result.to_json(indent=None))
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            try:
+                self.queue.fail(job.id, f"{type(exc).__name__}: {exc}")
+            except Exception:  # noqa: BLE001 - queue gone mid-shutdown
+                pass
+
+    def __repr__(self) -> str:
+        state = "started" if self._started else "stopped"
+        return f"WorkerPool(workers={self.workers}, {state})"

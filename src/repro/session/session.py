@@ -137,7 +137,10 @@ class Session:
         #: cache consultations), ``executions`` (specs actually executed)
         #: and ``prep_builds`` (artifacts built through the registry) —
         #: together with the store's namespace counters these prove that a
-        #: warm replay performs zero prep builds and zero executions.
+        #: warm replay performs zero prep builds and zero executions, and
+        #: that concurrent duplicate submissions execute exactly once
+        #: (``dedup_waits``, counted lazily, appears when a submission
+        #: waited on another session's in-flight execution of its key).
         self.stats: dict[str, int] = {
             "cache_hits": 0, "cache_misses": 0, "executions": 0, "prep_builds": 0,
         }
@@ -509,13 +512,92 @@ class Session:
             properties_fingerprint=result.provenance["properties_fingerprint"],
         )
 
+    #: Seconds between polls of the ``results`` namespace while another
+    #: session executes the same key (the in-flight wait loop).
+    _INFLIGHT_POLL = 0.1
+
     def _run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
-        """Prepare (exactly once, lock-guarded) and execute one spec."""
+        """Serve one spec: cache hit, in-flight wait, or cold execution."""
         if isinstance(spec, SweepSpec):
             return self._run_sweep(spec)
         cached = self._cached_result(spec)
         if cached is not None:
             return cached
+        if self.result_cache:
+            return self._run_spec_exactly_once(spec)
+        return self._execute_spec(spec)
+
+    def _run_spec_exactly_once(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Cold execution under the cross-process lock-or-wait protocol.
+
+        Closes the ROADMAP in-flight-deduplication gap: publication was
+        always exactly-once (``save_result`` serializes on the entry's
+        writer lock), but two *concurrently* cold sessions both executed.
+        Here the execution itself coordinates on the key's
+        :meth:`~repro.store.results.ResultMixin.inflight_lock`:
+
+        * the first session acquires it non-blockingly and executes
+          (publishing before release, as before);
+        * racing sessions — other threads of this session, other
+          processes, or the service daemon's workers — fail the
+          non-blocking acquire, count a ``dedup_waits``, and poll the
+          ``results`` namespace until the executor's publication lands,
+          which they serve exactly like a cache hit (provenance marked
+          ``cache_hit`` + ``inflight_wait``);
+        * a waiter that instead observes the lock *free* again without a
+          valid publication (the executor crashed, or opted out of
+          publishing) takes the lock over, re-checks the cache under it,
+          and becomes the executor — so a dead executor never wedges the
+          key, it merely costs the wait.
+
+        The protocol is gated on :attr:`result_cache`: with the cache
+        disabled (``result_cache=False`` / ``REPRO_RESULT_CACHE=0``)
+        every submission executes independently, preserving the forced
+        cold-baseline semantics.
+        """
+        cache_fp = spec.cache_fingerprint()
+        props_fp = self.properties_fingerprint_for(spec.device)
+        lock = self.store.inflight_lock(cache_fp, props_fp)
+        contended = False
+        try:
+            lock.acquire(timeout=0)
+        except TimeoutError:
+            contended = True
+            self._bump_stat("dedup_waits")
+            while True:
+                if self.store.has_result(cache_fp, props_fp):
+                    result = self.store.load_result(cache_fp, props_fp)
+                    if result is not None:
+                        result.provenance = {
+                            **result.provenance, "cache_hit": True, "inflight_wait": True,
+                        }
+                        # the wait resolved into a cache hit: count it, so
+                        # N duplicate submissions aggregate to 1 execution
+                        # + N-1 cache_hits across sessions
+                        self._bump_stat("cache_hits")
+                        return result
+                try:
+                    lock.acquire(timeout=self._INFLIGHT_POLL)
+                    break  # lock freed without a publication: take over
+                except TimeoutError:
+                    continue
+        try:
+            # re-check under the lock: the previous holder — or a racer
+            # that published between our cache miss and an *uncontended*
+            # acquire (it released just before we tried) — may have landed
+            # the result.  The counter-free full-document probe keeps the
+            # common genuinely-cold (and corrupt-entry) paths' stats
+            # untouched.
+            if contended or self.store.has_valid_result(cache_fp, props_fp):
+                cached = self._cached_result(spec)
+                if cached is not None:
+                    return cached
+            return self._execute_spec(spec)
+        finally:
+            lock.release()
+
+    def _execute_spec(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Prepare (exactly once, lock-guarded) and execute one spec."""
         prep_start = time.perf_counter()
         for step in prep_steps_for(spec):
             self._build_step(step, [spec])

@@ -5,6 +5,7 @@ Usage::
     python -m repro.store [--root PATH] ls [NAMESPACE]
     python -m repro.store [--root PATH] stats
     python -m repro.store [--root PATH] prune [--grace SECONDS]
+        [--results-max-bytes N] [--results-max-age SECONDS]
     python -m repro.store [--root PATH] rm KEY [--namespace NAMESPACE]
 
 Without ``--root`` the default store location is used (``$REPRO_STORE_DIR``,
@@ -13,9 +14,12 @@ same resolution as ``store="auto"``.
 
 ``ls`` lists every entry with its namespace, key, file count, on-disk size
 and age; ``stats`` prints the per-namespace footprint; ``prune`` removes
-payload generations no manifest references (after a grace period); ``rm``
-deletes one entry by key — for cached results, a bare spec fingerprint
-removes every properties snapshot of that spec.
+payload generations no manifest references (after a grace period) and —
+when ``--results-max-bytes`` and/or ``--results-max-age`` are given —
+evicts least-recently-used cached results beyond those bounds (in-flight
+keys are never evicted; see docs/operations.md for tuning); ``rm`` deletes
+one entry by key — for cached results, a bare spec fingerprint removes
+every properties snapshot of that spec.
 """
 
 from __future__ import annotations
@@ -87,9 +91,20 @@ def _cmd_stats(store: ArtifactStore) -> int:
     return 0
 
 
-def _cmd_prune(store: ArtifactStore, grace: float) -> int:
-    removed = store.prune(grace_seconds=grace)
-    print(f"pruned {removed} unreferenced file(s) from {store.root}")
+def _cmd_prune(
+    store: ArtifactStore,
+    grace: float,
+    results_max_bytes: int | None,
+    results_max_age: float | None,
+) -> int:
+    removed = store.prune(
+        grace_seconds=grace,
+        results_max_bytes=results_max_bytes,
+        results_max_age=results_max_age,
+    )
+    evictions = store.namespace_stats("results").get("evictions", 0)
+    detail = f" ({evictions} cached result(s) evicted)" if evictions else ""
+    print(f"pruned {removed} file(s) from {store.root}{detail}")
     return 0
 
 
@@ -129,9 +144,19 @@ def main(argv=None) -> int:
 
     commands.add_parser("stats", help="per-namespace on-disk footprint")
 
-    prune = commands.add_parser("prune", help="remove unreferenced payload generations")
+    prune = commands.add_parser(
+        "prune",
+        help="remove unreferenced payload generations (and optionally "
+             "evict LRU cached results beyond a size/age bound)",
+    )
     prune.add_argument("--grace", type=float, default=60.0,
                        help="keep unreferenced files younger than this many seconds")
+    prune.add_argument("--results-max-bytes", type=int, default=None,
+                       help="evict least-recently-used cached results while the "
+                            "results namespace exceeds this many bytes")
+    prune.add_argument("--results-max-age", type=float, default=None,
+                       help="evict cached results not read or written for this "
+                            "many seconds")
 
     rm = commands.add_parser("rm", help="remove one entry by key")
     rm.add_argument("key", help="entry key as shown by ls (content hash / group stem)")
@@ -148,7 +173,7 @@ def main(argv=None) -> int:
     if args.command == "stats":
         return _cmd_stats(store)
     if args.command == "prune":
-        return _cmd_prune(store, args.grace)
+        return _cmd_prune(store, args.grace, args.results_max_bytes, args.results_max_age)
     return _cmd_rm(store, args.key, args.namespace)
 
 

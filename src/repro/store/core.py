@@ -388,26 +388,48 @@ class StoreCore:
     # ------------------------------------------------------------------ #
     # garbage collection
     # ------------------------------------------------------------------ #
-    def prune(self, grace_seconds: float = 60.0) -> int:
-        """Delete payload generations no manifest references; return the count.
+    def prune(
+        self,
+        grace_seconds: float = 60.0,
+        results_max_bytes: int | None = None,
+        results_max_age: float | None = None,
+    ) -> int:
+        """The store's one GC sweep; returns the number of files removed.
 
-        Superseded generations are left behind by merges so that concurrent
-        readers never lose the file under their memory map; run this
-        occasionally (or never — generations are only produced when new
-        payloads are materialized).  The one GC policy covers every
-        manifested namespace (channel tables and pulses); groups and
-        results publish single self-identifying files and never leave
-        garbage behind.
+        Two policies run in one call:
+
+        * **Unreferenced generations** (always): payload generations no
+          manifest references are deleted after ``grace_seconds``.
+          Superseded generations are left behind by merges so that
+          concurrent readers never lose the file under their memory map;
+          run this occasionally (or never — generations are only produced
+          when new payloads are materialized).  This covers every
+          manifested namespace (channel tables and pulses); groups publish
+          single self-identifying files and never leave garbage behind.
+        * **Result retention** (only when a bound is given): cached
+          results beyond ``results_max_bytes`` or ``results_max_age`` are
+          evicted least-recently-used first — see
+          :meth:`~repro.store.results.ResultMixin._prune_results` for the
+          exact policy, including the in-flight and busy-writer
+          protections.  With both bounds ``None`` (the default) cached
+          results are never removed implicitly, exactly as before.
 
         Parameters
         ----------
         grace_seconds : float
-            Files younger than this are kept even when unreferenced: a
-            concurrent writer publishes its payload files *before* the
-            manifest, so a freshly written generation is briefly
-            unreferenced by design.
+            Unreferenced files younger than this are kept: a concurrent
+            writer publishes its payload files *before* the manifest, so a
+            freshly written generation is briefly unreferenced by design.
+        results_max_bytes : int, optional
+            Size bound (bytes) on the ``results`` namespace's entries.
+        results_max_age : float, optional
+            Age bound (seconds since last read or write) on cached
+            results.
         """
         removed = 0
+        prune_results = getattr(self, "_prune_results", None)
+        if prune_results is not None:
+            removed += prune_results(max_bytes=results_max_bytes, max_age=results_max_age)
         cutoff = time.time() - grace_seconds
         for ns in NAMESPACES:
             if ns.generation_glob is None:

@@ -19,19 +19,31 @@ self-describing, and bit-identical on reload (see
 * **fail-open reads** — a corrupt or truncated entry is counted
   (``corrupt``) and reported as a miss, so the caller transparently falls
   back to a cold run and republishes;
+* **exactly-once execution** — concurrently *cold* sessions of one key
+  pair coordinate through the key's :meth:`~ResultMixin.inflight_lock`
+  (see the lock-or-wait protocol in
+  :meth:`repro.session.session.Session._run_spec`): one session executes
+  while the rest wait for the publication instead of recomputing;
 * **opt-out** — :func:`result_cache_enabled` honours the
   ``REPRO_RESULT_CACHE=0`` environment override (and the
   ``Session(result_cache=False)`` argument), so bit-identity baselines can
-  always force a cold run.
+  always force a cold run;
+* **bounded retention** — every successful read refreshes the entry's
+  recency (its file mtime), and :meth:`~ResultMixin._prune_results` evicts
+  least-recently-used entries beyond a size or age bound — never touching
+  keys whose in-flight lock is held (see
+  :meth:`repro.store.core.StoreCore.prune`).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from .core import atomic_write_text
+from ..utils.locks import FileLock
 
 __all__ = ["ResultMixin", "result_cache_enabled"]
 
@@ -74,6 +86,53 @@ class ResultMixin:
         """On-disk location of one cached result."""
         return self._results_dir() / cache_fingerprint / f"{properties_fingerprint}.json"
 
+    # ------------------------------------------------------------------ #
+    # in-flight execution coordination
+    # ------------------------------------------------------------------ #
+    def _inflight_lock_name(self, cache_fingerprint: str, properties_fingerprint: str) -> str:
+        """Lock name of one key pair's *execution* (distinct from the
+        publication lock of :meth:`save_result`, so an executor holding
+        this lock can still publish without self-deadlocking)."""
+        return f"inflight-{cache_fingerprint[:16]}-{properties_fingerprint[:16]}"
+
+    def inflight_lock(self, cache_fingerprint: str, properties_fingerprint: str) -> FileLock:
+        """The cross-process in-flight execution lock of one result key.
+
+        The lock-or-wait protocol behind exactly-once *execution* (ROADMAP
+        open item closed by the service PR): a cold session holds this
+        lock while it executes and publishes the key; racing cold sessions
+        fail the non-blocking acquire and instead poll the ``results``
+        namespace until the publication lands (or the lock frees, which
+        means the executor crashed and the waiter takes over).  The lock
+        is advisory and scoped to the store root, so it coordinates
+        sessions in one process, across processes, and across the service
+        daemon's worker pool alike.
+
+        Parameters
+        ----------
+        cache_fingerprint, properties_fingerprint : str
+            The result-cache key pair (see :meth:`result_path`).
+
+        Returns
+        -------
+        FileLock
+            A fresh lock instance (one per acquire scope; not shared
+            between threads).
+        """
+        return self._lock(
+            self._inflight_lock_name(cache_fingerprint, properties_fingerprint)
+        )
+
+    def result_inflight(self, cache_fingerprint: str, properties_fingerprint: str) -> bool:
+        """Whether some session currently executes this key (racy snapshot).
+
+        A non-blocking probe of :meth:`inflight_lock` — used by the GC to
+        skip entries that are being computed or actively consumed, and by
+        service observability.  ``True`` means "in use right now"; it is
+        advice, not exclusion.
+        """
+        return self.inflight_lock(cache_fingerprint, properties_fingerprint).probe()
+
     def has_result(self, cache_fingerprint: str, properties_fingerprint: str) -> bool:
         """Whether a cached result appears to exist (no counters touched).
 
@@ -93,8 +152,16 @@ class ResultMixin:
             return False
         return head.lstrip().startswith(b"{") and b'"format"' in head
 
-    def _result_is_valid(self, cache_fingerprint: str, properties_fingerprint: str) -> bool:
-        """Full-document validity check (used by the exactly-once writer)."""
+    def has_valid_result(self, cache_fingerprint: str, properties_fingerprint: str) -> bool:
+        """Full-document validity check (no counters touched).
+
+        Unlike the prefix-probing :meth:`has_result`, this parses the whole
+        entry, so a truncated or corrupt file is reported absent.  Used by
+        the exactly-once writer (:meth:`save_result`) and by the session's
+        under-lock re-check in the in-flight dedup protocol — both places
+        where acting on a half-valid entry would be wrong and where the
+        miss/corrupt counters must stay untouched.
+        """
         path = self.result_path(cache_fingerprint, properties_fingerprint)
         try:
             document = json.loads(path.read_text())
@@ -109,6 +176,11 @@ class ResultMixin:
         that exists but cannot be parsed additionally counts ``corrupt``
         and behaves exactly like a miss (the caller re-runs and the
         re-publication overwrites the broken file).
+
+        A successful read also refreshes the entry's recency (its file
+        mtime, best-effort): the mtime is the LRU ordering key of
+        :meth:`_prune_results`, so a size-bounded store evicts the entries
+        nobody replays, never the hot ones.
         """
         from ..session.results import ExperimentResult
         from ..utils.validation import ValidationError
@@ -123,6 +195,10 @@ class ResultMixin:
             self._bump("results", "corrupt")
             self._bump("results", "misses")
             return None
+        try:
+            os.utime(path)  # refresh LRU recency (see _prune_results)
+        except OSError:
+            pass
         self._bump("results", "hits")
         return result
 
@@ -140,11 +216,118 @@ class ResultMixin:
         text = result.to_json()
         key = f"{cache_fingerprint}/{properties_fingerprint}"
         with self._lock(self._entry_lock_name("results", key)):
-            if self._result_is_valid(cache_fingerprint, properties_fingerprint):
+            if self.has_valid_result(cache_fingerprint, properties_fingerprint):
                 self._bump("results", "write_skips")
                 return False
             path = self.result_path(cache_fingerprint, properties_fingerprint)
             path.parent.mkdir(parents=True, exist_ok=True)
             atomic_write_text(path, text + "\n")
             self._bump("results", "writes")
+        return True
+
+    # ------------------------------------------------------------------ #
+    # garbage collection (size/age-bounded LRU eviction)
+    # ------------------------------------------------------------------ #
+    def _prune_results(
+        self,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        lock_timeout: float = 1.0,
+    ) -> int:
+        """Evict cached results beyond a size or age bound; return the count.
+
+        The long-running-service GC policy (ROADMAP open item closed by
+        the service PR).  Entries are ordered **least-recently-used
+        first** by their file mtime — refreshed on every cache hit by
+        :meth:`load_result` — and evicted until both bounds hold:
+
+        * ``max_age`` — entries not read or written for more than this
+          many seconds are evicted regardless of the size bound;
+        * ``max_bytes`` — while the namespace's total entry bytes exceed
+          the bound, the least-recently-used entry is evicted.
+
+        Two classes of entry are never evicted:
+
+        * **in-flight keys** — an entry whose
+          :meth:`inflight_lock` probes held is being computed or actively
+          consumed right now; it is skipped this sweep (the next sweep
+          reconsiders it);
+        * **busy keys** — eviction takes the entry's *writer* lock (the
+          same lock :meth:`save_result` publishes under), so it can never
+          yank a file mid-publication; a writer busy past ``lock_timeout``
+          seconds is skipped, not waited for.
+
+        Both bounds ``None`` make this a no-op, which keeps the default
+        :meth:`~repro.store.core.StoreCore.prune` behaviour unchanged:
+        cached results are only removed when a retention policy is asked
+        for explicitly (CLI flags, daemon sweep).
+        """
+        if max_bytes is None and max_age is None:
+            return 0
+        directory = self._results_dir()
+        if not directory.exists():
+            return 0
+        namespace = self.namespace("results")
+        entries: list[tuple[float, int, Path, str]] = []
+        for path in directory.glob(namespace.entry_glob):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append(
+                (stat.st_mtime, stat.st_size, path, self._entry_key(namespace, path))
+            )
+        entries.sort()  # least-recently-used first
+        now = time.time()
+        total = sum(size for _, size, _, _ in entries)
+        evicted = 0
+        for mtime, size, path, key in entries:
+            expired = max_age is not None and (now - mtime) > max_age
+            oversize = max_bytes is not None and total > max_bytes
+            if not (expired or oversize):
+                # LRU order: every later entry is younger (not expired
+                # either) and the size bound already holds — done.
+                break
+            if self._evict_result(path, key, snapshot_mtime=mtime, lock_timeout=lock_timeout):
+                total -= size
+                evicted += 1
+        for subdir in directory.glob("*"):
+            if subdir.is_dir() and not any(subdir.iterdir()):
+                try:
+                    subdir.rmdir()
+                except OSError:
+                    pass
+        return evicted
+
+    def _evict_result(
+        self,
+        path: Path,
+        key: str,
+        snapshot_mtime: float | None = None,
+        lock_timeout: float = 1.0,
+    ) -> bool:
+        """Evict one entry unless it is in flight, being written, or hot.
+
+        ``snapshot_mtime`` is the recency the sweep *decided* on; the
+        entry is re-stat'ed under the writer lock and spared when a cache
+        hit refreshed it in the meantime (the sweep scan and the eviction
+        can be seconds apart behind busy-writer waits) — "never the hot
+        ones" holds even against mid-sweep replays.
+        """
+        spec, _, props = key.partition("/")
+        if self.result_inflight(spec, props):
+            return False
+        writer = self._lock(self._entry_lock_name("results", key))
+        try:
+            with writer.acquired(timeout=lock_timeout):
+                try:
+                    current_mtime = path.stat().st_mtime
+                except OSError:
+                    return False  # already gone
+                if snapshot_mtime is not None and current_mtime > snapshot_mtime:
+                    return False  # touched since the sweep decided: hot
+                path.unlink(missing_ok=True)
+        except TimeoutError:
+            return False
+        self._bump("results", "evictions")
         return True

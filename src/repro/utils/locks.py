@@ -185,6 +185,28 @@ class FileLock:
         finally:
             self.release()
 
+    def probe(self) -> bool:
+        """Whether the lock is currently held by *someone else* (snapshot).
+
+        One non-blocking acquisition attempt that is immediately released
+        on success — the lock is never retained.  Used where holding would
+        be wrong: garbage collection skips result entries whose in-flight
+        lock probes held (a session is executing or consuming that key),
+        and diagnostics report contention without joining it.
+
+        The answer is inherently racy — the holder may release (or a new
+        holder acquire) the instant after the probe — so callers must
+        treat ``True`` as "in use right now" advice, never as exclusion.
+        Probing a lock this instance already holds raises
+        :class:`RuntimeError` (the non-re-entrancy contract).
+        """
+        try:
+            self.acquire(timeout=0)
+        except TimeoutError:
+            return True
+        self.release()
+        return False
+
     def release(self) -> None:
         """Release the lock (no-op when not held)."""
         if self._fd is None:
