@@ -1,0 +1,102 @@
+"""Shadow-verification overhead: warm replay vs full-rate shadow canary.
+
+Shadow verification (``Session(shadow_rate=...)``) re-executes a sample of
+result-cache hits on the live engine and asserts payload bit-identity.
+This bench measures its cost envelope on one RB spec over one store root:
+
+* **cold** — the spec executes and publishes (the baseline cost),
+* **warm** — a plain cached replay (shadow off: the cheap path users pay
+  by default),
+* **shadow** — a cached replay at ``shadow_rate=1.0``: the hit is served
+  *and* re-executed + fingerprint-compared (the canary's cost).
+
+The recorded ``shadow_overhead_gain = cold / shadow`` is enforced
+one-sidedly against the committed baseline: a full-rate shadow check
+should cost about one (store-warmed) execution — if the ratio collapses,
+shadow verification grew pathological overhead (double execution, lock
+contention) and CI fails.  Correctness rides along: the shadow leg must
+count exactly one check, zero mismatches, write nothing, and serve the
+bit-identical payload.
+"""
+
+import os
+import time
+
+from repro.session import RBSpec, Session
+from repro.store import ArtifactStore
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _bench_spec() -> RBSpec:
+    if SMOKE:
+        return RBSpec(device="montreal", qubits=(0,), lengths=(1, 4, 8),
+                      n_seeds=1, shots=100, seed=2022)
+    return RBSpec(device="montreal", qubits=(0,), lengths=(1, 16, 48, 96, 160, 240),
+                  n_seeds=6, shots=400, seed=2022)
+
+
+def _timed_run(store, spec, **session_kwargs):
+    """One Session.run over ``store``; returns (result, wall, stats)."""
+    start = time.perf_counter()
+    with Session(store=store, num_workers=1, **session_kwargs) as session:
+        result = session.run(spec)
+        stats = session.stats_snapshot()
+    return result, time.perf_counter() - start, stats
+
+
+def _measure(root) -> dict:
+    from repro.benchmarking.clifford import clifford_group
+
+    spec = _bench_spec()
+    # warm the process-wide group cache so the cold/shadow legs pay the
+    # same in-process costs regardless of bench ordering
+    clifford_group(len(spec.qubits))
+    store = ArtifactStore(root / "store")
+
+    cold, wall_cold, cold_stats = _timed_run(store, spec)
+    warm, wall_warm, warm_stats = _timed_run(store, spec)
+    shadow, wall_shadow, shadow_stats = _timed_run(store, spec, shadow_rate=1.0)
+
+    identical = (
+        warm.payload_fingerprint() == cold.payload_fingerprint()
+        and shadow.payload_fingerprint() == cold.payload_fingerprint()
+    )
+    return {
+        "cold_wall_clock_s": wall_cold,
+        "warm_wall_clock_s": wall_warm,
+        "shadow_wall_clock_s": wall_shadow,
+        "shadow_overhead_gain": wall_cold / wall_shadow,
+        "cold_executions": cold_stats["executions"],
+        "warm_executions": warm_stats["executions"],
+        "shadow_executions": shadow_stats["executions"],
+        "shadow_checks": shadow_stats.get("shadow_checks", 0),
+        "shadow_mismatches": shadow_stats.get("shadow_mismatches", 0),
+        "result_writes": store.namespace_stats("results")["writes"],
+        "shadow_verified": 1.0 if shadow.provenance.get("shadow_verified") else 0.0,
+        "payload_abs_diff": 0.0 if identical else 1.0,
+    }
+
+
+def test_shadow_overhead(benchmark, save_results, bench_metrics, tmp_path):
+    data = benchmark.pedantic(_measure, args=(tmp_path,), rounds=1, iterations=1)
+    # correctness: the warm replay is free of execution, the shadow replay
+    # re-executes exactly once, finds no divergence, and publishes nothing
+    assert data["cold_executions"] == 1
+    assert data["warm_executions"] == 0
+    assert data["shadow_executions"] == 1
+    assert data["shadow_checks"] == 1
+    assert data["shadow_mismatches"] == 0
+    assert data["shadow_verified"] == 1.0
+    assert data["result_writes"] == 1
+    assert data["payload_abs_diff"] == 0.0
+    bench_metrics["shadow"] = {
+        "cold_wall_clock_s": data["cold_wall_clock_s"],
+        "warm_wall_clock_s": data["warm_wall_clock_s"],
+        "shadow_wall_clock_s": data["shadow_wall_clock_s"],
+        "shadow_overhead_gain": data["shadow_overhead_gain"],
+        "shadow_checks": data["shadow_checks"],
+        "shadow_mismatches": data["shadow_mismatches"],
+        "payload_abs_diff": data["payload_abs_diff"],
+    }
+    save_results("shadow_overhead", data)

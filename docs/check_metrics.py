@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition document (stdlib only).
+
+CI's ``metrics-smoke`` step runs this against the ``/v1/metrics`` document
+the service smoke writes (``--metrics-out``), asserting that the daemon
+exports *valid* Prometheus text format 0.0.4 — not merely something that
+looks like it:
+
+* every sample line parses as ``name{labels} value`` with legal metric
+  and label names and properly quoted label values,
+* every sample belongs to a family announced by a preceding ``# TYPE``
+  (and each family is announced exactly once),
+* counter and histogram samples are finite and non-negative,
+* histogram families are complete: ``_bucket`` series are cumulative in
+  ``le`` order, end in ``le="+Inf"``, and agree with ``_count``; a
+  ``_sum`` is present for every label set,
+* the required series of the observability contract are present (see
+  ``REQUIRED_SERIES``; extend with ``--require``).
+
+Usage::
+
+    python docs/check_metrics.py metrics.txt
+    python docs/check_metrics.py metrics.txt --require my_extra_series
+
+Exit code 0 when the document is valid, 1 with per-line diagnostics
+otherwise.  See ``docs/observability.md`` for the series table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+from pathlib import Path
+
+#: Series the daemon's ``/v1/metrics`` must always export.
+REQUIRED_SERIES = (
+    "repro_jobs",
+    "repro_session_events_total",
+    "repro_store_events_total",
+    "repro_cache_hit_ratio",
+    "repro_shadow_checks_total",
+    "repro_shadow_mismatches_total",
+    "repro_dedup_waits_total",
+    "repro_recovered_jobs_total",
+    "repro_gc_evictions_total",
+    "repro_job_queue_latency_seconds",
+    "repro_job_duration_seconds",
+    "repro_uptime_seconds",
+)
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_METRIC_NAME})"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)')
+
+
+def _parse_value(text: str) -> float:
+    """One sample value ('+Inf'/'-Inf'/'NaN' included), or ValueError."""
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(block: str | None) -> dict[str, str] | None:
+    """The label dict of one sample, or None on malformed label syntax."""
+    if block is None or block == "":
+        return {}
+    labels: dict[str, str] = {}
+    position = 0
+    while position < len(block):
+        match = _LABEL_RE.match(block, position)
+        if match is None:
+            return None
+        labels[match.group(1)] = match.group(2)
+        position = match.end()
+    return labels
+
+
+def _base_family(name: str, families: dict[str, str]) -> str | None:
+    """The declared family one sample name belongs to (histogram-aware)."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if families.get(base) == "histogram":
+                return base
+    return None
+
+
+def validate(text: str, required: tuple[str, ...] = REQUIRED_SERIES) -> list[str]:
+    """All validation errors of one exposition document (empty = valid)."""
+    errors: list[str] = []
+    families: dict[str, str] = {}
+    #: family -> label-key -> list of (le, value) bucket samples, in order.
+    buckets: dict[str, dict[tuple, list[tuple[float, float]]]] = {}
+    counts: dict[str, dict[tuple, float]] = {}
+    sums: dict[str, set] = {}
+    seen: set[str] = set()
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                errors.append(f"line {number}: malformed TYPE line: {line!r}")
+                continue
+            if parts[2] in families:
+                errors.append(f"line {number}: duplicate TYPE for {parts[2]!r}")
+            families[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {number}: unknown comment form: {line!r}")
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {number}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        if labels is None:
+            errors.append(f"line {number}: malformed labels: {line!r}")
+            continue
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            errors.append(f"line {number}: bad sample value: {line!r}")
+            continue
+
+        family = _base_family(name, families)
+        if family is None:
+            errors.append(f"line {number}: sample {name!r} has no preceding TYPE")
+            continue
+        seen.add(family)
+        kind = families[family]
+        if kind in ("counter", "histogram") and (value < 0 or math.isnan(value)):
+            errors.append(
+                f"line {number}: {kind} sample {name!r} is negative or NaN"
+            )
+        if kind == "histogram":
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {number}: bucket sample without le: {line!r}")
+                    continue
+                try:
+                    bound = _parse_value(labels["le"])
+                except ValueError:
+                    errors.append(f"line {number}: bad le bound: {labels['le']!r}")
+                    continue
+                buckets.setdefault(family, {}).setdefault(key, []).append((bound, value))
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[key] = value
+            elif name.endswith("_sum"):
+                sums.setdefault(family, set()).add(key)
+
+    for family, children in buckets.items():
+        for key, series in children.items():
+            label_desc = dict(key) or "(unlabeled)"
+            bounds = [bound for bound, _ in series]
+            if bounds != sorted(bounds):
+                errors.append(f"{family}{label_desc}: bucket le bounds not ascending")
+            values = [count for _, count in series]
+            if values != sorted(values):
+                errors.append(f"{family}{label_desc}: bucket counts not cumulative")
+            if not series or not math.isinf(series[-1][0]):
+                errors.append(f"{family}{label_desc}: missing le=\"+Inf\" bucket")
+            else:
+                total = counts.get(family, {}).get(key)
+                if total is None:
+                    errors.append(f"{family}{label_desc}: missing _count sample")
+                elif total != series[-1][1]:
+                    errors.append(
+                        f"{family}{label_desc}: _count {total} != +Inf bucket {series[-1][1]}"
+                    )
+            if key not in sums.get(family, set()):
+                errors.append(f"{family}{label_desc}: missing _sum sample")
+
+    for name in required:
+        if name not in seen:
+            errors.append(f"required series {name!r} is missing from the exposition")
+    return errors
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a shell exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="exposition document to validate")
+    parser.add_argument("--require", nargs="*", default=[],
+                        help="additional series names that must be present")
+    args = parser.parse_args(argv)
+    text = Path(args.path).read_text(encoding="utf-8")
+    errors = validate(text, required=REQUIRED_SERIES + tuple(args.require))
+    if errors:
+        for error in errors:
+            print(f"METRICS FAIL: {error}", file=sys.stderr)
+        return 1
+    families = len({l.split()[2] for l in text.splitlines() if l.startswith("# TYPE ")})
+    print(f"metrics OK: {args.path} ({families} families, all required series present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Observability layer (``repro.obs``): tracing, metrics, shadow checks.
+
+Production-shaped signals over the session/store/service stack, in three
+stdlib-only pieces:
+
+* :mod:`~repro.obs.trace` — structured per-job tracing: every
+  ``Session.submit`` job carries a :class:`Trace` whose :class:`Span`s
+  record the plan / prep / execute / cache-lookup / in-flight-wait /
+  shadow-verify phases with durations and store-counter deltas, attached
+  to ``ExperimentResult.provenance["trace"]`` and optionally emitted as
+  JSON lines to a :class:`TraceSink` (``REPRO_TRACE_FILE``).
+* :mod:`~repro.obs.metrics` — a small :class:`MetricsRegistry`
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`) rendering the
+  Prometheus text exposition format; the daemon serves it at
+  ``GET /v1/metrics`` and the CI ``metrics-smoke`` step validates it
+  with ``docs/check_metrics.py``.
+* :mod:`~repro.obs.shadow` — shadow verification: a
+  :class:`ShadowSampler`-selected fraction of result-cache hits is
+  re-executed on the live engine and compared bit-for-bit; mismatches
+  are quarantined, counted, and re-executed (the CI ``shadow-canary``
+  gate).
+
+See ``docs/observability.md`` for the trace schema, the metric series
+table and the shadow-verification contract.
+"""
+
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .shadow import SHADOW_RATE_ENV, ShadowSampler, resolve_shadow_rate
+from .trace import TRACE_FILE_ENV, Span, Trace, TraceSink, resolve_trace_sink
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Trace",
+    "TraceSink",
+    "resolve_trace_sink",
+    "TRACE_FILE_ENV",
+    "ShadowSampler",
+    "resolve_shadow_rate",
+    "SHADOW_RATE_ENV",
+]

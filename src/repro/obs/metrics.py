@@ -1,0 +1,303 @@
+"""A small stdlib metrics registry with Prometheus text exposition.
+
+The observability layer's one source of metric truth: every component
+that wants a live series — the :class:`~repro.service.queue.JobQueue`'s
+latency histograms, the daemon's scrape-time mirrors of the
+:class:`~repro.session.session.Session` and
+:class:`~repro.store.ArtifactStore` counters — registers an instrument
+here, and ``GET /v1/metrics`` renders the whole registry in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(``text/plain; version=0.0.4``).
+
+Three instrument kinds, deliberately minimal and dependency-free:
+
+* :class:`Counter` — monotonically increasing totals (``inc``; ``set``
+  exists for scrape-time mirroring of counters owned elsewhere),
+* :class:`Gauge` — point-in-time values (``set`` / ``inc``),
+* :class:`Histogram` — cumulative-bucket observations (``observe``)
+  rendered as the standard ``_bucket``/``_sum``/``_count`` triple.
+
+Every instrument supports label children via ``labels(**kv)``; all
+mutation is thread-safe (one lock per registry), so scrapes racing job
+execution can never observe a torn instrument.  The matching validator —
+a stdlib parser asserting format integrity and required-series presence —
+lives in ``docs/check_metrics.py`` and is run by the CI ``metrics-smoke``
+step.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+from ..utils.validation import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds): sub-millisecond queue waits up to
+#: multi-minute experiment executions, then ``+Inf``.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """One sample value in exposition form (ints without a trailing .0)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()
+                                  and abs(value) < 1e15):
+        return str(int(value))
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    """The ``{k="v",...}`` block of one sample ('' when unlabeled)."""
+    parts = [f'{key}="{_escape_label(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Instrument:
+    """Shared machinery of one metric family (name, help, children)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.help = help_text
+        self._registry = registry
+        self._lock = registry._lock
+        #: label-tuple -> child state; () is the unlabeled default child.
+        self._children: dict[tuple[tuple[str, str], ...], object] = {}
+
+    # ------------------------------------------------------------------ #
+    def _label_key(self, labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+        for key in labels:
+            if not _LABEL_RE.match(key):
+                raise ValidationError(f"invalid metric label name {key!r}")
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def _child(self, key: tuple[tuple[str, str], ...]):
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels: str) -> "_BoundChild":
+        """The labeled child of this family (created on first use)."""
+        key = self._label_key(labels)
+        with self._lock:
+            self._child(key)
+        return _BoundChild(self, key)
+
+    # ------------------------------------------------------------------ #
+    # unlabeled convenience surface (operates on the () child)
+    # ------------------------------------------------------------------ #
+    def _mutate(self, key: tuple, fn) -> None:
+        with self._lock:
+            fn(self._child(key))
+
+    def render(self) -> list[str]:
+        """The ``# HELP``/``# TYPE`` header plus every sample line."""
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            children = sorted(self._children.items())
+            for key, child in children:
+                lines.extend(self._render_child(key, child))
+        return lines
+
+    def _render_child(self, key, child) -> list[str]:
+        raise NotImplementedError
+
+
+class _BoundChild:
+    """One labeled child of an instrument: forwards mutations to it."""
+
+    def __init__(self, instrument: _Instrument, key: tuple):
+        self._instrument = instrument
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the child (counters and gauges)."""
+        self._instrument._mutate(self._key, lambda c: c.__setitem__(0, c[0] + amount))
+
+    def set(self, value: float) -> None:
+        """Set the child's value (gauges; counter mirrors)."""
+        self._instrument._mutate(self._key, lambda c: c.__setitem__(0, value))
+
+    def observe(self, value: float) -> None:
+        """Observe one value (histograms only)."""
+        self._instrument._observe(self._key, value)
+
+    @property
+    def value(self) -> float:
+        """Current value of the child (counters/gauges)."""
+        with self._instrument._lock:
+            return self._instrument._child(self._key)[0]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total.
+
+    ``inc`` is the normal mutation; ``set`` exists so scrape-time code can
+    mirror counters whose source of truth lives elsewhere (session stats,
+    store namespace counters) into the registry.
+    """
+
+    kind = "counter"
+
+    def _new_child(self):
+        return [0.0]
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled child by ``amount``."""
+        self._mutate((), lambda c: c.__setitem__(0, c[0] + amount))
+
+    def set(self, value: float) -> None:
+        """Set the unlabeled child (scrape-time mirroring)."""
+        self._mutate((), lambda c: c.__setitem__(0, value))
+
+    @property
+    def value(self) -> float:
+        """Current value of the unlabeled child."""
+        with self._lock:
+            return self._child(())[0]
+
+    def _render_child(self, key, child) -> list[str]:
+        return [f"{self.name}{_render_labels(key)} {_format_value(child[0])}"]
+
+
+class Gauge(Counter):
+    """A point-in-time value (same surface as :class:`Counter`)."""
+
+    kind = "gauge"
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket observations (Prometheus histogram semantics).
+
+    Parameters are inherited from
+    :meth:`MetricsRegistry.histogram`; each child keeps per-bucket
+    counts, a running sum and a total count, rendered as the standard
+    ``<name>_bucket{le=...}`` / ``<name>_sum`` / ``<name>_count`` triple.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, registry, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, registry)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValidationError("histogram needs at least one finite bucket")
+
+    def _new_child(self):
+        # [bucket counts..., +Inf count, sum]
+        return [0] * (len(self.buckets) + 1) + [0.0]
+
+    def _observe(self, key: tuple, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            child = self._child(key)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    child[index] += 1
+            child[len(self.buckets)] += 1  # +Inf / total count
+            child[-1] += value
+
+    def observe(self, value: float) -> None:
+        """Observe one value on the unlabeled child."""
+        self._observe((), value)
+
+    def _render_child(self, key, child) -> list[str]:
+        lines = []
+        for index, bound in enumerate(self.buckets):
+            extra = 'le="' + _format_value(bound) + '"'
+            lines.append(f"{self.name}_bucket{_render_labels(key, extra)} {child[index]}")
+        total = child[len(self.buckets)]
+        inf_extra = 'le="+Inf"'
+        lines.append(f"{self.name}_bucket{_render_labels(key, inf_extra)} {total}")
+        lines.append(f"{self.name}_sum{_render_labels(key)} {_format_value(child[-1])}")
+        lines.append(f"{self.name}_count{_render_labels(key)} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Holds every instrument; renders the whole exposition document.
+
+    Registration is idempotent by name: asking for an existing name
+    returns the existing instrument (kind mismatches raise), so
+    components sharing one registry can declare their series
+    independently.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    # ------------------------------------------------------------------ #
+    def _register(self, cls, name: str, help_text: str, **kwargs) -> _Instrument:
+        if not _NAME_RE.match(name):
+            raise ValidationError(f"invalid metric name {name!r}")
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValidationError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, help_text, self, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        """Get-or-create a :class:`Counter` family."""
+        return self._register(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        """Get-or-create a :class:`Gauge` family."""
+        return self._register(Gauge, name, help_text)
+
+    def histogram(
+        self, name: str, help_text: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get-or-create a :class:`Histogram` family."""
+        return self._register(Histogram, name, help_text, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """The full Prometheus text exposition document (trailing newline)."""
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        lines: list[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,107 @@
+"""Shadow verification: re-run sampled cache hits, assert bit-identity.
+
+The result cache's whole value rests on one promise — a cached entry is
+*bit-identical* to what the live engine would produce for the same spec ×
+calibration snapshot.  Content addressing makes stale reads structurally
+impossible, but it cannot catch silent corruption of a stored document or
+an engine change that forgot to bump a format version.  Shadow
+verification is the continuous canary for exactly that class of failure:
+a configurable sample of result-cache **hits** is re-executed on the live
+engine and the two payload fingerprints
+(:meth:`~repro.session.results.ExperimentResult.payload_fingerprint`)
+are compared.
+
+* **Match** — the hit is served as usual, marked
+  ``provenance["shadow_verified"]`` and counted (``shadow_checks``).
+* **Mismatch** — the cached entry is *quarantined* (moved aside on disk,
+  counted in the store's ``results.quarantined`` counter), the freshly
+  executed result is published in its place and returned, and the
+  session counts a ``shadow_mismatches`` — the signal the CI
+  ``shadow-canary`` job fails on.
+
+Sampling is configured per session (``Session(shadow_rate=0.05)``), per
+daemon (``--shadow-rate``), or globally via ``$REPRO_SHADOW_RATE`` —
+the environment override always wins, mirroring ``REPRO_RESULT_CACHE``.
+See ``docs/observability.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from ..utils.validation import ValidationError
+
+__all__ = ["ShadowSampler", "resolve_shadow_rate", "SHADOW_RATE_ENV"]
+
+#: Environment variable overriding the shadow-verification sampling rate.
+SHADOW_RATE_ENV = "REPRO_SHADOW_RATE"
+
+
+def resolve_shadow_rate(rate: float | None = None) -> float:
+    """Resolve the shadow sampling rate from an argument and the environment.
+
+    Parameters
+    ----------
+    rate : float, optional
+        The ``Session(shadow_rate=...)`` / daemon ``--shadow-rate``
+        argument; ``None`` means 0 (shadow verification off).
+
+    Returns
+    -------
+    float
+        The effective rate in ``[0, 1]``.  ``$REPRO_SHADOW_RATE``, when
+        set to a parseable float, always wins over the argument — so an
+        operator can force a full-verification canary run (``1.0``) or
+        switch shadowing off without touching code.
+    """
+    env = os.environ.get(SHADOW_RATE_ENV)
+    if env is not None and env.strip():
+        try:
+            return _clamp(float(env))
+        except ValueError:
+            raise ValidationError(
+                f"${SHADOW_RATE_ENV} must be a float in [0, 1], got {env!r}"
+            ) from None
+    return _clamp(float(rate)) if rate is not None else 0.0
+
+
+def _clamp(rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError(f"shadow rate must be in [0, 1], got {rate!r}")
+    return rate
+
+
+class ShadowSampler:
+    """Decides, per cache hit, whether to shadow-verify it.
+
+    Parameters
+    ----------
+    rate : float, optional
+        Requested sampling rate (resolved against ``$REPRO_SHADOW_RATE``
+        by :func:`resolve_shadow_rate`).
+    seed : int, optional
+        Seed of the sampling RNG — deterministic sampling for tests; the
+        default draws a fresh RNG (sampling never influences experiment
+        payloads, which draw all randomness from their spec seeds).
+    """
+
+    def __init__(self, rate: float | None = None, seed: int | None = None):
+        self.rate = resolve_shadow_rate(rate)
+        self._rng = random.Random(seed)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any sampling can ever happen (``rate > 0``)."""
+        return self.rate > 0.0
+
+    def sample(self) -> bool:
+        """Whether *this* cache hit should be shadow-verified."""
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        return self._rng.random() < self.rate
+
+    def __repr__(self) -> str:
+        return f"ShadowSampler(rate={self.rate})"

@@ -1,0 +1,210 @@
+"""Structured per-job tracing: spans, counter deltas, JSONL emission.
+
+Every job executed through :meth:`Session.submit
+<repro.session.session.Session.submit>` (and therefore every job the
+service daemon's workers claim) carries one :class:`Trace`: a trace id,
+the spec fingerprint, and an ordered list of :class:`Span`s recording the
+wall-clock shape of the run — ``cache_lookup``, ``plan``, ``prep``,
+``execute``, ``inflight_wait``, ``shadow_verify`` — plus the store-counter
+deltas the job caused.  The finished trace is attached to the result's
+``provenance["trace"]`` (request-scoped: the *cached* document on disk
+never contains one) and, when a sink is configured, emitted as one JSON
+line to it.
+
+Sinks are append-only JSON-lines files, configured per session
+(``Session(trace_sink=...)``), per daemon (``--trace-file``) or globally
+via the ``REPRO_TRACE_FILE`` environment variable.  One line per job::
+
+    {"trace_id": "5f3d…", "kind": "rb", "spec_fingerprint": "ab12…",
+     "started_at": 1754650000.1, "duration_s": 0.31,
+     "spans": [{"name": "cache_lookup", "start_s": 0.0,
+                "duration_s": 0.0012, "attributes": {"hit": false}}, …],
+     "attributes": {"store_counter_deltas": {"results": {"writes": 1}}}}
+
+The schema is documented in ``docs/observability.md``; CI uploads the
+bench runs' trace files as artifacts for trajectory debugging.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Span", "Trace", "TraceSink", "resolve_trace_sink", "TRACE_FILE_ENV"]
+
+#: Environment variable naming the default trace-sink file (JSON lines).
+TRACE_FILE_ENV = "REPRO_TRACE_FILE"
+
+
+@dataclass
+class Span:
+    """One timed phase of a job.
+
+    Attributes
+    ----------
+    name : str
+        Phase name (``plan`` | ``prep`` | ``execute`` | ``cache_lookup``
+        | ``inflight_wait`` | ``shadow_verify``).
+    start_s : float
+        Offset of the span start from the trace start (seconds).
+    duration_s : float
+        Wall-clock duration of the span (seconds).
+    attributes : dict
+        Span-scoped facts (e.g. ``{"hit": True}`` on a cache lookup).
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The span as a plain JSON-serializable dict."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Trace:
+    """The trace context of one job: spans, attributes, wall clocks.
+
+    Parameters
+    ----------
+    kind : str
+        The spec kind of the job (``rb`` | ``irb`` | ``grape`` |
+        ``sweep``).
+    spec_fingerprint : str, optional
+        Fingerprint of the submitted spec.
+    attributes : dict, optional
+        Trace-level facts recorded up front (more can be added via
+        :meth:`add`).
+
+    Notes
+    -----
+    Span recording is thread-safe (a session's in-flight wait and the
+    executing thread may both touch the trace), and span *ordering* is by
+    completion — each span's ``start_s`` offset recovers the true
+    timeline.
+    """
+
+    def __init__(self, kind: str, spec_fingerprint: str | None = None,
+                 attributes: dict | None = None):
+        self.trace_id = uuid.uuid4().hex[:16]
+        self.kind = kind
+        self.spec_fingerprint = spec_fingerprint
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self.duration_s: float | None = None
+        self.spans: list[Span] = []
+        self.attributes: dict = dict(attributes or {})
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Record one timed span; yields its (mutable) attribute dict."""
+        start = time.perf_counter() - self._t0
+        attrs = dict(attributes)
+        try:
+            yield attrs
+        finally:
+            duration = (time.perf_counter() - self._t0) - start
+            with self._lock:
+                self.spans.append(Span(name, start, duration, attrs))
+
+    def add(self, key: str, value) -> None:
+        """Set one trace-level attribute (thread-safe)."""
+        with self._lock:
+            self.attributes[key] = value
+
+    def finish(self) -> "Trace":
+        """Freeze the total duration (idempotent); returns self."""
+        if self.duration_s is None:
+            self.duration_s = time.perf_counter() - self._t0
+        return self
+
+    def to_dict(self) -> dict:
+        """The finished trace as a plain JSON-serializable dict."""
+        self.finish()
+        with self._lock:
+            return {
+                "trace_id": self.trace_id,
+                "kind": self.kind,
+                "spec_fingerprint": self.spec_fingerprint,
+                "started_at": self.started_at,
+                "duration_s": self.duration_s,
+                "spans": [span.to_dict() for span in self.spans],
+                "attributes": dict(self.attributes),
+            }
+
+
+class TraceSink:
+    """A thread-safe append-only JSON-lines trace file.
+
+    Parameters
+    ----------
+    path : str or Path
+        The sink file (parents created on first emit).  Each
+        :meth:`emit` appends exactly one line; emission failures are
+        swallowed — tracing must never take a job down.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def emit(self, trace: "Trace | dict") -> None:
+        """Append one trace (object or already-built dict) as a JSON line."""
+        document = trace.to_dict() if isinstance(trace, Trace) else dict(trace)
+        try:
+            line = json.dumps(document, sort_keys=True, default=str) + "\n"
+            with self._lock:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(line)
+        except (OSError, TypeError, ValueError):
+            pass  # observability failure is never an execution failure
+
+    def __repr__(self) -> str:
+        return f"TraceSink({str(self.path)!r})"
+
+
+def resolve_trace_sink(sink=None) -> TraceSink | None:
+    """Resolve the user-facing trace-sink knob to a :class:`TraceSink`.
+
+    Parameters
+    ----------
+    sink : None, False, str, Path or TraceSink
+        ``None`` defers to ``$REPRO_TRACE_FILE`` (no sink when unset),
+        ``False`` disables emission even when the environment names a
+        file, a path selects that file, and an existing sink instance is
+        passed through (the daemon shares one across its workers).
+
+    Returns
+    -------
+    TraceSink or None
+        The resolved sink.
+    """
+    if sink is False:
+        return None
+    if isinstance(sink, TraceSink):
+        return sink
+    if sink is None:
+        env = os.environ.get(TRACE_FILE_ENV)
+        return TraceSink(env) if env else None
+    if isinstance(sink, (str, Path)):
+        return TraceSink(sink)
+    from ..utils.validation import ValidationError
+
+    raise ValidationError(
+        f"trace_sink must be None, False, a path or a TraceSink, got {sink!r}"
+    )

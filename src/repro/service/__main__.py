@@ -5,7 +5,8 @@ Usage::
     python -m repro.service [--host HOST] [--port PORT] [--root PATH]
         [--queue PATH] [--workers N] [--session-num-workers N]
         [--gc-interval SECONDS] [--results-max-bytes N]
-        [--results-max-age SECONDS]
+        [--results-max-age SECONDS] [--shadow-rate RATE]
+        [--trace-file PATH]
 
 Without ``--root`` the daemon uses the default store location (the same
 ``store="auto"`` resolution as everywhere else: ``$REPRO_STORE_DIR``, else
@@ -50,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result-cache size bound applied by the sweep")
     parser.add_argument("--results-max-age", type=float, default=None, metavar="SECONDS",
                         help="result-cache age bound applied by the sweep")
+    parser.add_argument("--shadow-rate", type=float, default=None, metavar="RATE",
+                        help="fraction of cache hits to shadow-verify against a live "
+                             "re-execution (default: off; $REPRO_SHADOW_RATE wins)")
+    parser.add_argument("--trace-file", default=None, metavar="PATH",
+                        help="JSON-lines file receiving one trace per executed job "
+                             "(default: $REPRO_TRACE_FILE, else no tracing sink)")
     return parser
 
 
@@ -66,6 +73,8 @@ def main(argv=None) -> int:
         gc_interval_s=args.gc_interval,
         results_max_bytes=args.results_max_bytes,
         results_max_age_s=args.results_max_age,
+        shadow_rate=args.shadow_rate,
+        trace_file=args.trace_file,
     )
     service = ExperimentService(config)
 

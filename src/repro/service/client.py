@@ -110,6 +110,27 @@ class ServiceClient:
         """The shared store's counters and disk footprint."""
         return self._request("GET", "/v1/store/stats")
 
+    def metrics(self) -> str:
+        """The daemon's ``/v1/metrics`` document (Prometheus text format).
+
+        The one non-JSON endpoint: the raw exposition text is returned
+        as-is, ready for a scraper or ``docs/check_metrics.py``.
+        """
+        request = urllib.request.Request(
+            self.base_url + "/v1/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"HTTP {exc.code} on GET /v1/metrics", status=exc.code
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: {exc.reason}"
+            ) from exc
+
     def submit(self, spec: ExperimentSpec | dict) -> str:
         """Submit one spec (object or ``to_dict`` payload); returns the job id."""
         payload = spec.to_dict() if isinstance(spec, ExperimentSpec) else dict(spec)

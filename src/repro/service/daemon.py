@@ -35,6 +35,7 @@ from pathlib import Path
 from .http import make_server
 from .queue import JobQueue
 from .workers import WorkerPool
+from ..obs import MetricsRegistry, resolve_trace_sink
 from ..store import resolve_store
 from ..utils.locks import FileLock
 from ..utils.validation import ValidationError
@@ -70,6 +71,13 @@ class ServiceConfig:
         Size bound handed to the sweep (see ``ArtifactStore.prune``).
     results_max_age_s : float, optional
         Age bound handed to the sweep.
+    shadow_rate : float, optional
+        Shadow-verification sampling rate every worker session runs with
+        (``--shadow-rate``; ``$REPRO_SHADOW_RATE`` always wins).  ``None``
+        leaves shadowing off unless the environment enables it.
+    trace_file : str or Path, optional
+        JSON-lines trace sink shared by every worker session
+        (``--trace-file``; defaults to ``$REPRO_TRACE_FILE`` when unset).
     """
 
     host: str = "127.0.0.1"
@@ -81,6 +89,8 @@ class ServiceConfig:
     gc_interval_s: float | None = None
     results_max_bytes: int | None = None
     results_max_age_s: float | None = None
+    shadow_rate: float | None = None
+    trace_file: str | Path | None = None
 
 
 class ExperimentService:
@@ -118,12 +128,18 @@ class ExperimentService:
             if config.queue_path is not None
             else self.store.root / "service" / "queue.sqlite3"
         )
-        self.queue = JobQueue(queue_path)
+        #: The daemon's single metrics registry: the queue feeds its
+        #: latency histograms live, everything else is mirrored into it
+        #: at scrape time by :meth:`metrics_text` (``GET /v1/metrics``).
+        self.metrics = MetricsRegistry()
+        self.queue = JobQueue(queue_path, metrics=self.metrics)
         self.pool = WorkerPool(
             self.queue,
             self.store,
             workers=config.workers,
             session_num_workers=config.session_num_workers,
+            shadow_rate=config.shadow_rate,
+            trace_sink=resolve_trace_sink(config.trace_file),
         )
         self._server = None
         self._server_thread: threading.Thread | None = None
@@ -274,6 +290,71 @@ class ExperimentService:
             "stats": self.store.stats,
             "disk": self.store.disk_stats(),
         }
+
+    def metrics_text(self) -> str:
+        """The ``/v1/metrics`` document (Prometheus text exposition).
+
+        The queue's latency/duration histograms are fed live as jobs move
+        through it; everything whose source of truth lives elsewhere —
+        job counts per status, the worker sessions' aggregated counters
+        (a locked snapshot per session), the store's namespace counters,
+        recovery and GC outcomes — is mirrored into the registry here, at
+        scrape time, so the exposition is always a consistent
+        point-in-time view.  See ``docs/observability.md`` for the full
+        series table.
+        """
+        metrics = self.metrics
+        jobs = metrics.gauge(
+            "repro_jobs", "Jobs in the queue database by lifecycle status."
+        )
+        for status, count in self.queue.counts().items():
+            jobs.labels(status=status).set(count)
+
+        sessions = self.pool.aggregate_stats()
+        events = metrics.counter(
+            "repro_session_events_total",
+            "Aggregated worker-session counters (executions, cache hits, ...).",
+        )
+        for counter, value in sessions.items():
+            events.labels(counter=counter).set(value)
+        lookups = sessions.get("cache_hits", 0) + sessions.get("cache_misses", 0)
+        metrics.gauge(
+            "repro_cache_hit_ratio",
+            "Result-cache hit ratio across worker sessions (0 before any lookup).",
+        ).set(sessions.get("cache_hits", 0) / lookups if lookups else 0.0)
+        metrics.counter(
+            "repro_shadow_checks_total",
+            "Result-cache hits re-executed by shadow verification.",
+        ).set(sessions.get("shadow_checks", 0))
+        metrics.counter(
+            "repro_shadow_mismatches_total",
+            "Shadow verifications that failed bit-identity (entry quarantined).",
+        ).set(sessions.get("shadow_mismatches", 0))
+        metrics.counter(
+            "repro_dedup_waits_total",
+            "Submissions that waited on another in-flight execution of their key.",
+        ).set(sessions.get("dedup_waits", 0))
+        metrics.counter(
+            "repro_recovered_jobs_total",
+            "Jobs re-queued at boot after a previous daemon died mid-execution.",
+        ).set(self.recovered_jobs)
+
+        store_events = metrics.counter(
+            "repro_store_events_total",
+            "Artifact-store namespace counters (writes, hits, evictions, ...).",
+        )
+        store_stats = self.store.stats
+        for namespace, counters in store_stats.items():
+            for counter, value in counters.items():
+                store_events.labels(namespace=namespace, counter=counter).set(value)
+        metrics.counter(
+            "repro_gc_evictions_total",
+            "Result-cache entries evicted by the store's bounded-retention GC.",
+        ).set(store_stats.get("results", {}).get("evictions", 0))
+        metrics.gauge(
+            "repro_uptime_seconds", "Seconds since the daemon started."
+        ).set((time.time() - self._started_at) if self._started_at else 0.0)
+        return metrics.render()
 
     # ------------------------------------------------------------------ #
     # background GC

@@ -12,6 +12,9 @@ GET      ``/v1/experiments/<id>``    job status/result → ``200`` (``404``
 GET      ``/v1/experiments``         recent jobs (``?status=`` filter,
                                      ``?limit=``), result documents omitted
 GET      ``/v1/store/stats``         shared-store counters + disk footprint
+GET      ``/v1/metrics``             Prometheus text exposition (the one
+                                     non-JSON endpoint; see
+                                     ``docs/observability.md``)
 GET      ``/healthz``                liveness: uptime, workers, job counts,
                                      aggregated session counters
 =======  ==========================  =========================================
@@ -64,6 +67,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -96,6 +107,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         if path == "/v1/store/stats":
             self._send_json(200, service.store_stats())
+            return
+        if path == "/v1/metrics":
+            self._send_text(
+                200, service.metrics_text(), "text/plain; version=0.0.4; charset=utf-8"
+            )
             return
         if path == "/v1/experiments":
             query = parse_qs(url.query)

@@ -135,16 +135,43 @@ class JobQueue:
     daemon process whose HTTP and worker threads share it.  Workers block
     in :meth:`wait` on an internal condition that :meth:`submit` notifies,
     so an idle pool wakes immediately on submission instead of polling.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is attached (the
+    daemon does this), the queue feeds two live histograms:
+    ``repro_job_queue_latency_seconds`` (submission → claim, observed at
+    claim time) and ``repro_job_duration_seconds{status=...}``
+    (claim → completion, observed when the job finishes).
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, metrics=None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._new_job = threading.Condition(self._lock)
         self._closed = True
+        self._queue_latency = None
+        self._job_duration = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
         with self._lock:
             self._connect()
+
+    def attach_metrics(self, metrics) -> None:
+        """Register the queue's histograms on a shared metrics registry."""
+        self._queue_latency = metrics.histogram(
+            "repro_job_queue_latency_seconds",
+            "Seconds jobs spent queued before a worker claimed them.",
+        )
+        self._job_duration = metrics.histogram(
+            "repro_job_duration_seconds",
+            "Seconds from claim to completion, labeled by final status.",
+        )
+        # initialize the series at zero so a freshly booted daemon's
+        # exposition already carries every required family (scrapers and
+        # the CI validator never see a present-only-after-traffic series)
+        self._queue_latency.labels()
+        for status in ("done", "failed"):
+            self._job_duration.labels(status=status)
 
     def _connect(self) -> None:
         """(Re-)establish the connection; caller holds ``self._lock``."""
@@ -219,9 +246,11 @@ class JobQueue:
                 (now, job.id),
             )
             self._conn.commit()
-            return replace(
-                job, status="running", started_at=now, attempts=job.attempts + 1
-            )
+        if self._queue_latency is not None:
+            self._queue_latency.observe(max(0.0, now - job.submitted_at))
+        return replace(
+            job, status="running", started_at=now, attempts=job.attempts + 1
+        )
 
     def wait(self, timeout: float) -> None:
         """Block up to ``timeout`` seconds for a submission notification."""
@@ -246,15 +275,24 @@ class JobQueue:
 
     def _finish(self, job_id: str, status: str,
                 result: str | None = None, error: str | None = None) -> None:
+        now = time.time()
         with self._lock:
+            started_at = None
+            if self._job_duration is not None:
+                row = self._conn.execute(
+                    "SELECT started_at FROM jobs WHERE id = ?", (job_id,)
+                ).fetchone()
+                started_at = row[0] if row is not None else None
             updated = self._conn.execute(
                 "UPDATE jobs SET status = ?, finished_at = ?, result = ?, error = ?"
                 " WHERE id = ?",
-                (status, time.time(), result, error, job_id),
+                (status, now, result, error, job_id),
             ).rowcount
             self._conn.commit()
         if not updated:
             raise KeyError(f"unknown job id {job_id!r}")
+        if self._job_duration is not None and started_at is not None:
+            self._job_duration.labels(status=status).observe(max(0.0, now - started_at))
 
     # ------------------------------------------------------------------ #
     # inspection / recovery

@@ -10,14 +10,24 @@ asserts the full contract end to end:
 * the job reaches ``done`` and its result replays the IRB payload,
 * a duplicate submission of the same spec is served from the result
   cache (``cache_hit`` provenance, zero additional executions),
-* ``/v1/store/stats`` shows exactly one result write.
+* ``/v1/store/stats`` shows exactly one result write,
+* ``/v1/metrics`` answers with a Prometheus text document carrying the
+  core series (optionally written to ``--metrics-out`` for the CI
+  ``metrics-smoke`` validation step).
+
+With ``--shadow-rate 1.0`` the run doubles as the **shadow canary**: the
+cached replay is re-executed on the live engine and compared bit-for-bit
+— the smoke then asserts ``shadow_checks >= 1`` and
+``shadow_mismatches == 0`` (and exactly two executions instead of one).
 
 Exit code 0 on success, 1 with a diagnostic on any failed expectation —
-the CI ``service-smoke`` job runs exactly this module.
+the CI ``service-smoke`` and ``shadow-canary`` jobs run exactly this
+module.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
 import time
@@ -38,12 +48,33 @@ def reduced_fig3_spec() -> IRBSpec:
     )
 
 
-def run_smoke(store_root=None, timeout: float = 300.0) -> int:
-    """Boot, submit, verify; returns a shell exit code (prints progress)."""
+def run_smoke(
+    store_root=None,
+    timeout: float = 300.0,
+    metrics_out=None,
+    shadow_rate: float | None = None,
+) -> int:
+    """Boot, submit, verify; returns a shell exit code (prints progress).
+
+    Parameters
+    ----------
+    store_root : optional
+        Store root to run over (default: a throwaway temp directory).
+    timeout : float
+        Seconds to wait for the first (cold) job.
+    metrics_out : str or Path, optional
+        When given, the final ``/v1/metrics`` document is written here
+        for out-of-process validation (``docs/check_metrics.py``).
+    shadow_rate : float, optional
+        Shadow-verification rate the daemon runs with; ``1.0`` turns the
+        smoke into the shadow canary (see module docstring).
+    """
     spec = reduced_fig3_spec()
+    shadowing = shadow_rate is not None and shadow_rate >= 1.0
     with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as scratch:
         config = ServiceConfig(
-            host="127.0.0.1", port=0, store=store_root or f"{scratch}/store", workers=1
+            host="127.0.0.1", port=0, store=store_root or f"{scratch}/store", workers=1,
+            shadow_rate=shadow_rate,
         )
         with ExperimentService(config) as service:
             client = ServiceClient(service.url)
@@ -74,11 +105,41 @@ def run_smoke(store_root=None, timeout: float = 300.0) -> int:
                 f"expected exactly one result write, saw {stats}",
             )
             sessions = client.health()["sessions"]
+            expected_executions = 2 if shadowing else 1
             _expect(
-                sessions.get("executions") == 1,
-                f"expected exactly one execution, saw {sessions}",
+                sessions.get("executions") == expected_executions,
+                f"expected exactly {expected_executions} execution(s), saw {sessions}",
             )
-            print("cached replay ok (result writes=1, executions=1)")
+            if shadowing:
+                _expect(
+                    replay.provenance.get("shadow_verified") is True,
+                    f"replay was not shadow-verified: {replay.provenance}",
+                )
+                _expect(
+                    sessions.get("shadow_checks", 0) >= 1,
+                    f"expected at least one shadow check, saw {sessions}",
+                )
+                _expect(
+                    sessions.get("shadow_mismatches", 0) == 0,
+                    f"SHADOW MISMATCH: cached result diverged from live engine: {sessions}",
+                )
+                print(
+                    f"shadow canary ok (checks={sessions['shadow_checks']}, mismatches=0)"
+                )
+            print(f"cached replay ok (result writes=1, executions={expected_executions})")
+
+            exposition = client.metrics()
+            _expect(
+                "# TYPE repro_jobs gauge" in exposition
+                and "repro_session_events_total" in exposition
+                and "repro_job_queue_latency_seconds_bucket" in exposition,
+                "metrics exposition is missing core series",
+            )
+            if metrics_out is not None:
+                with open(metrics_out, "w", encoding="utf-8") as fh:
+                    fh.write(exposition)
+                print(f"metrics exposition written to {metrics_out}")
+            print("metrics endpoint ok")
     print("service smoke passed")
     return 0
 
@@ -91,8 +152,17 @@ def _expect(condition: bool, message: str) -> None:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a shell exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.smoke",
+        description="End-to-end smoke check of the experiment service daemon.",
+    )
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the final /v1/metrics document to this file")
+    parser.add_argument("--shadow-rate", type=float, default=None, metavar="RATE",
+                        help="daemon shadow-verification rate (1.0 = shadow canary)")
+    args = parser.parse_args(argv)
     try:
-        return run_smoke()
+        return run_smoke(metrics_out=args.metrics_out, shadow_rate=args.shadow_rate)
     except AssertionError as exc:
         print(f"SMOKE FAIL: {exc}", file=sys.stderr)
         return 1

@@ -51,6 +51,12 @@ class WorkerPool:
     poll_s : float
         Idle-worker fallback poll of the queue (submissions also notify,
         so this is a safety net, not the latency floor).
+    shadow_rate : float, optional
+        Shadow-verification sampling rate passed to every worker session
+        (``Session(shadow_rate=...)``; the daemon's ``--shadow-rate``).
+    trace_sink : optional
+        Trace sink shared by every worker session (the daemon's
+        ``--trace-file``); each executed job emits one JSON line.
     """
 
     def __init__(
@@ -60,12 +66,16 @@ class WorkerPool:
         workers: int = 2,
         session_num_workers: int = 1,
         poll_s: float = 0.5,
+        shadow_rate: float | None = None,
+        trace_sink=None,
     ):
         self.queue = queue
         self.store = store
         self.workers = max(0, int(workers))
         self.session_num_workers = int(session_num_workers)
         self.poll_s = float(poll_s)
+        self.shadow_rate = shadow_rate
+        self.trace_sink = trace_sink
         self._threads: list[threading.Thread] = []
         self._sessions: list[Session] = []
         self._sessions_lock = threading.Lock()
@@ -115,19 +125,35 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+    #: Counters always present in :meth:`aggregate_stats`, even at zero —
+    #: so ``/healthz`` consumers and the ``/v1/metrics`` mirror see every
+    #: series from the first scrape (the lazily counted ones included).
+    STAT_KEYS = (
+        "cache_hits", "cache_misses", "executions", "prep_builds",
+        "dedup_waits", "shadow_checks", "shadow_mismatches",
+    )
+
     def aggregate_stats(self) -> dict[str, int]:
         """Sum of every worker session's counters (executions, hits, …).
 
-        The daemon's ``/healthz`` exposes this — together with the store's
-        ``results`` write counters it proves the exactly-once contract
-        from the outside: N duplicate submissions show N-1
-        ``cache_hits``/``dedup_waits`` and exactly one ``executions``.
+        The daemon's ``/healthz`` and ``/v1/metrics`` expose this —
+        together with the store's ``results`` write counters it proves
+        the exactly-once contract from the outside: N duplicate
+        submissions show N-1 ``cache_hits``/``dedup_waits`` and exactly
+        one ``executions``.
+
+        Each session contributes a :meth:`Session.stats_snapshot
+        <repro.session.session.Session.stats_snapshot>` — a copy taken
+        under the session's counter lock — so a scrape racing job
+        execution never reads a torn dictionary, and all
+        :data:`STAT_KEYS` are pre-seeded to 0 so the reported shape is
+        stable regardless of which counters have fired yet.
         """
-        totals: dict[str, int] = {}
+        totals: dict[str, int] = {key: 0 for key in self.STAT_KEYS}
         with self._sessions_lock:
             sessions = list(self._sessions)
         for session in sessions:
-            for counter, value in dict(session.stats).items():
+            for counter, value in session.stats_snapshot().items():
                 totals[counter] = totals.get(counter, 0) + value
         return totals
 
@@ -142,7 +168,8 @@ class WorkerPool:
         the previous generation.
         """
         session = Session(
-            store=self.store, num_workers=self.session_num_workers, max_concurrency=1
+            store=self.store, num_workers=self.session_num_workers, max_concurrency=1,
+            shadow_rate=self.shadow_rate, trace_sink=self.trace_sink,
         )
         with self._sessions_lock:
             self._sessions.append(session)

@@ -53,6 +53,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -60,6 +61,7 @@ import numpy as np
 from .planner import SessionPlan, plan_specs, prep_steps_for
 from .results import ExperimentResult
 from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec
+from ..obs import ShadowSampler, Trace, resolve_trace_sink
 from ..utils.validation import ValidationError
 
 __all__ = ["Session"]
@@ -98,6 +100,23 @@ class Session:
         ``REPRO_RESULT_CACHE=0``, which always wins — to force a cold,
         bit-identity-baseline run.  Cold runs still *publish* their
         results, so the next cached session finds them.
+    shadow_rate : float, optional
+        Fraction of result-cache hits to *shadow-verify*: re-execute on
+        the live engine and compare payload fingerprints bit-for-bit
+        (see :mod:`repro.obs.shadow`).  Matches are counted
+        (``shadow_checks``) and marked ``provenance["shadow_verified"]``;
+        a mismatch quarantines the cached entry, republishes the fresh
+        result and counts a ``shadow_mismatches``.  Defaults to 0 (off);
+        ``$REPRO_SHADOW_RATE`` always wins.
+    trace_sink : optional
+        Where to emit per-job traces as JSON lines: ``None`` (default)
+        defers to ``$REPRO_TRACE_FILE``, ``False`` disables emission, a
+        path or :class:`~repro.obs.trace.TraceSink` selects a file.
+        Independent of the sink, every root job's finished trace is
+        attached to ``result.provenance["trace"]``.
+    shadow_seed : int, optional
+        Seed of the shadow sampling RNG (deterministic sampling for
+        tests; never influences experiment payloads).
     """
 
     def __init__(
@@ -108,11 +127,17 @@ class Session:
         max_concurrency: int | None = None,
         seed=None,
         result_cache: bool | None = None,
+        shadow_rate: float | None = None,
+        trace_sink=None,
+        shadow_seed: int | None = None,
     ):
         from ..store import resolve_store, result_cache_enabled
 
         self.store = resolve_store(store)
         self.result_cache = self.store is not None and result_cache_enabled(result_cache)
+        self.shadow = ShadowSampler(shadow_rate, seed=shadow_seed)
+        self.trace_sink = resolve_trace_sink(trace_sink)
+        self._trace_local = threading.local()
         self.num_workers = int(num_workers)
         self.seed = seed
         self._backends: dict[str, object] = {}
@@ -141,6 +166,9 @@ class Session:
         #: that concurrent duplicate submissions execute exactly once
         #: (``dedup_waits``, counted lazily, appears when a submission
         #: waited on another session's in-flight execution of its key).
+        #: Shadow verification counts lazily too: ``shadow_checks`` (hits
+        #: re-executed and compared) and ``shadow_mismatches`` (cached
+        #: entries that failed bit-identity and were quarantined).
         self.stats: dict[str, int] = {
             "cache_hits": 0, "cache_misses": 0, "executions": 0, "prep_builds": 0,
         }
@@ -199,6 +227,20 @@ class Session:
         """Increment one session counter (thread-safe)."""
         with self._stats_lock:
             self.stats[counter] = self.stats.get(counter, 0) + n
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """A consistent point-in-time copy of :attr:`stats`.
+
+        Taken under the counter lock, so a reader aggregating across
+        concurrently executing jobs (the service's ``/v1/metrics``
+        scrape) never observes a torn dictionary.
+        """
+        with self._stats_lock:
+            return dict(self.stats)
+
+    def _store_counters(self) -> dict[str, dict[str, int]]:
+        """Snapshot of the store's namespace counters ({} without a store)."""
+        return self.store.stats if self.store is not None else {}
 
     def properties_fingerprint_for(self, device: str) -> str:
         """Properties fingerprint a spec on ``device`` will run against.
@@ -517,15 +559,104 @@ class Session:
     _INFLIGHT_POLL = 0.1
 
     def _run_spec(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Serve one spec, wrapped in its (root-job-only) trace.
+
+        Every *root* job — a direct ``submit``/``run`` — carries one
+        :class:`~repro.obs.trace.Trace` recording the spans of its
+        phases and the store-counter deltas it caused.  Sweep children
+        recurse through this method on the same thread and record their
+        spans into the root sweep's trace instead of opening one each:
+        child provenance is embedded in the sweep *payload*, so a
+        per-child trace would break the payload's determinism.
+
+        The finished trace is attached to the returned result's
+        ``provenance["trace"]`` **after** any cache publication — the
+        stored document never contains a trace, keeping cached payload +
+        provenance bit-identical across serving paths — and emitted to
+        the configured :attr:`trace_sink` as one JSON line.
+        """
+        if getattr(self._trace_local, "trace", None) is not None:
+            return self._run_spec_inner(spec)  # sweep child: reuse root trace
+        trace = Trace(spec.kind, spec_fingerprint=spec.fingerprint())
+        self._trace_local.trace = trace
+        before = self._store_counters()
+        try:
+            result = self._run_spec_inner(spec)
+        except Exception as exc:
+            trace.add("error", repr(exc))
+            raise
+        finally:
+            self._trace_local.trace = None
+            trace.add("store_counter_deltas", _counter_deltas(before, self._store_counters()))
+            trace.finish()
+            if self.trace_sink is not None:
+                self.trace_sink.emit(trace)
+        result.provenance = {**result.provenance, "trace": trace.to_dict()}
+        return result
+
+    @contextmanager
+    def _span(self, name: str, **attributes):
+        """Record a span on the current job's trace (no-op without one)."""
+        trace = getattr(self._trace_local, "trace", None)
+        if trace is None:
+            yield dict(attributes)
+        else:
+            with trace.span(name, **attributes) as attrs:
+                yield attrs
+
+    def _run_spec_inner(self, spec: ExperimentSpec) -> ExperimentResult:
         """Serve one spec: cache hit, in-flight wait, or cold execution."""
         if isinstance(spec, SweepSpec):
             return self._run_sweep(spec)
-        cached = self._cached_result(spec)
+        with self._span("cache_lookup", spec_fingerprint=spec.fingerprint()) as attrs:
+            cached = self._cached_result(spec)
+            attrs["hit"] = cached is not None
         if cached is not None:
-            return cached
+            return self._maybe_shadow_verify(spec, cached)
         if self.result_cache:
             return self._run_spec_exactly_once(spec)
         return self._execute_spec(spec)
+
+    def _maybe_shadow_verify(
+        self, spec: ExperimentSpec, cached: ExperimentResult
+    ) -> ExperimentResult:
+        """Shadow-verify a sampled cache hit against a live re-execution.
+
+        When the :class:`~repro.obs.shadow.ShadowSampler` selects this
+        hit, the spec is re-executed on the live engine **without
+        publishing** and the two payload fingerprints are compared:
+
+        * **match** — the cached result is served as usual, marked
+          ``provenance["shadow_verified"]`` (``shadow_checks`` counted);
+        * **mismatch** — the cached entry is quarantined (moved aside on
+          disk, counted by the store), the fresh result is published in
+          its place and served, and the session counts a
+          ``shadow_mismatches`` — the exact signal the CI shadow-canary
+          job fails on.
+
+        Only plain cache hits are sampled; hits resolved through the
+        in-flight wait were *just* produced by a live execution and
+        carry nothing to verify.
+        """
+        if not self.shadow.sample():
+            return cached
+        with self._span("shadow_verify") as attrs:
+            self._bump_stat("shadow_checks")
+            fresh = self._execute_spec(spec, publish=False)
+            match = fresh.payload_fingerprint() == cached.payload_fingerprint()
+            attrs["match"] = match
+            if match:
+                cached.provenance = {**cached.provenance, "shadow_verified": True}
+                return cached
+            self._bump_stat("shadow_mismatches")
+            self.store.quarantine_result(
+                spec.cache_fingerprint(), self.properties_fingerprint_for(spec.device)
+            )
+            self._publish_result(spec, fresh)
+            fresh.provenance = {
+                **fresh.provenance, "shadow_verified": True, "shadow_mismatch": True,
+            }
+            return fresh
 
     def _run_spec_exactly_once(self, spec: ExperimentSpec) -> ExperimentResult:
         """Cold execution under the cross-process lock-or-wait protocol.
@@ -564,23 +695,26 @@ class Session:
         except TimeoutError:
             contended = True
             self._bump_stat("dedup_waits")
-            while True:
-                if self.store.has_result(cache_fp, props_fp):
-                    result = self.store.load_result(cache_fp, props_fp)
-                    if result is not None:
-                        result.provenance = {
-                            **result.provenance, "cache_hit": True, "inflight_wait": True,
-                        }
-                        # the wait resolved into a cache hit: count it, so
-                        # N duplicate submissions aggregate to 1 execution
-                        # + N-1 cache_hits across sessions
-                        self._bump_stat("cache_hits")
-                        return result
-                try:
-                    lock.acquire(timeout=self._INFLIGHT_POLL)
-                    break  # lock freed without a publication: take over
-                except TimeoutError:
-                    continue
+            with self._span("inflight_wait") as attrs:
+                while True:
+                    if self.store.has_result(cache_fp, props_fp):
+                        result = self.store.load_result(cache_fp, props_fp)
+                        if result is not None:
+                            result.provenance = {
+                                **result.provenance, "cache_hit": True, "inflight_wait": True,
+                            }
+                            # the wait resolved into a cache hit: count it, so
+                            # N duplicate submissions aggregate to 1 execution
+                            # + N-1 cache_hits across sessions
+                            self._bump_stat("cache_hits")
+                            attrs["resolved"] = "publication"
+                            return result
+                    try:
+                        lock.acquire(timeout=self._INFLIGHT_POLL)
+                        attrs["resolved"] = "takeover"
+                        break  # lock freed without a publication: take over
+                    except TimeoutError:
+                        continue
         try:
             # re-check under the lock: the previous holder — or a racer
             # that published between our cache miss and an *uncontended*
@@ -596,22 +730,33 @@ class Session:
         finally:
             lock.release()
 
-    def _execute_spec(self, spec: ExperimentSpec) -> ExperimentResult:
-        """Prepare (exactly once, lock-guarded) and execute one spec."""
+    def _execute_spec(self, spec: ExperimentSpec, publish: bool = True) -> ExperimentResult:
+        """Prepare (exactly once, lock-guarded) and execute one spec.
+
+        ``publish=False`` skips the result-cache publication — the
+        shadow-verification re-run uses it so a *matching* check leaves
+        the store byte-for-byte untouched (the mismatch path republishes
+        explicitly after quarantining the bad entry).
+        """
         prep_start = time.perf_counter()
-        for step in prep_steps_for(spec):
-            self._build_step(step, [spec])
+        with self._span("plan") as attrs:
+            steps = list(prep_steps_for(spec))
+            attrs["n_steps"] = len(steps)
+        with self._span("prep"):
+            for step in steps:
+                self._build_step(step, [spec])
         prepare_s = time.perf_counter() - prep_start
 
         execute_start = time.perf_counter()
-        if isinstance(spec, GRAPESpec):
-            payload, provenance_extra = self._execute_grape(spec)
-        elif isinstance(spec, RBSpec):
-            payload, provenance_extra = self._execute_rb(spec)
-        elif isinstance(spec, IRBSpec):
-            payload, provenance_extra = self._execute_irb(spec)
-        else:
-            raise ValidationError(f"cannot execute spec of kind {spec.kind!r}")
+        with self._span("execute", kind=spec.kind):
+            if isinstance(spec, GRAPESpec):
+                payload, provenance_extra = self._execute_grape(spec)
+            elif isinstance(spec, RBSpec):
+                payload, provenance_extra = self._execute_rb(spec)
+            elif isinstance(spec, IRBSpec):
+                payload, provenance_extra = self._execute_irb(spec)
+            else:
+                raise ValidationError(f"cannot execute spec of kind {spec.kind!r}")
         execute_s = time.perf_counter() - execute_start
 
         self._bump_stat("executions")
@@ -626,7 +771,8 @@ class Session:
         result = ExperimentResult(
             kind=spec.kind, spec=spec.to_dict(), payload=payload, provenance=provenance
         )
-        self._publish_result(spec, result)
+        if publish:
+            self._publish_result(spec, result)
         return result
 
     def _run_sweep(self, spec: SweepSpec) -> ExperimentResult:
@@ -641,7 +787,12 @@ class Session:
         points were warm (``cached_points``).
         """
         children = spec.expand()
-        self._build_plan(self.plan(children))
+        with self._span("plan") as attrs:
+            plan = self.plan(children)
+            attrs["n_steps"] = len(plan.steps)
+            attrs["n_points"] = len(children)
+        with self._span("prep"):
+            self._build_plan(plan)
         results = [self._run_spec(child) for child in children]
         payload = {
             "grid": [[name, list(values)] for name, values in spec.grid],
@@ -777,3 +928,29 @@ def _canonical(device: str) -> str:
     from .planner import _canonical_device
 
     return _canonical_device(device)
+
+
+def _counter_deltas(before: dict, after: dict) -> dict:
+    """Non-zero per-namespace counter deltas between two store snapshots.
+
+    Handles both stats shapes: the :class:`~repro.store.ArtifactStore`'s
+    nested ``{namespace: {counter: n}}`` and the legacy
+    ``CliffordChannelStore`` facade's flat ``{counter: n}``.
+    """
+    deltas: dict = {}
+    for namespace, counters in after.items():
+        base = before.get(namespace)
+        if isinstance(counters, dict):
+            base = base if isinstance(base, dict) else {}
+            changed = {
+                key: value - base.get(key, 0)
+                for key, value in counters.items()
+                if value - base.get(key, 0)
+            }
+            if changed:
+                deltas[namespace] = changed
+        elif isinstance(counters, (int, float)):
+            delta = counters - (base if isinstance(base, (int, float)) else 0)
+            if delta:
+                deltas[namespace] = delta
+    return deltas

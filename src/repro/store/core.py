@@ -152,7 +152,10 @@ NAMESPACES: tuple[StoreNamespace, ...] = (
         entry_glob="*/*.json",
         generation_glob=None,
         nested=True,
-        counters=("writes", "write_skips", "hits", "misses", "corrupt"),
+        counters=(
+            "writes", "write_skips", "hits", "misses", "corrupt",
+            "evictions", "quarantined",
+        ),
     ),
 )
 

@@ -225,6 +225,36 @@ class ResultMixin:
             self._bump("results", "writes")
         return True
 
+    def quarantine_result(
+        self, cache_fingerprint: str, properties_fingerprint: str
+    ) -> Path | None:
+        """Move a mismatched entry aside (marked corrupt, counted).
+
+        Shadow verification's mismatch handler: the entry is renamed to a
+        ``.quarantined`` sibling — no longer matching the namespace's
+        entry glob, so it is invisible to ``ls``/``prune``/``load_result``
+        but preserved on disk as evidence for the post-mortem — and the
+        ``quarantined`` counter is bumped.  The rename happens under the
+        entry's writer lock, so it serializes with a racing
+        :meth:`save_result`; the caller (see
+        :meth:`repro.session.session.Session`) then re-executes and
+        republishes, repairing the key.
+
+        Returns
+        -------
+        Path or None
+            The quarantine file, or None when the entry did not exist.
+        """
+        path = self.result_path(cache_fingerprint, properties_fingerprint)
+        key = f"{cache_fingerprint}/{properties_fingerprint}"
+        with self._lock(self._entry_lock_name("results", key)):
+            if not path.exists():
+                return None
+            destination = path.with_name(path.name + ".quarantined")
+            os.replace(path, destination)
+            self._bump("results", "quarantined")
+        return destination
+
     # ------------------------------------------------------------------ #
     # garbage collection (size/age-bounded LRU eviction)
     # ------------------------------------------------------------------ #

@@ -70,6 +70,7 @@ class TestWarmReplay:
         assert tables["writes"] == 0 and tables["hits"] == 0  # table never opened
         assert warm_store.namespace_stats("results") == {
             "writes": 0, "write_skips": 0, "hits": 1, "misses": 0, "corrupt": 0,
+            "evictions": 0, "quarantined": 0,
         }
         # bit-identical payload, cache-marked provenance
         assert warm.cache_hit and not cold.cache_hit
