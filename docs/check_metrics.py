@@ -47,6 +47,9 @@ REQUIRED_SERIES = (
     "repro_gc_evictions_total",
     "repro_job_queue_latency_seconds",
     "repro_job_duration_seconds",
+    "repro_span_duration_seconds",
+    "repro_jobs_reclaimed_total",
+    "repro_lease_expirations_total",
     "repro_uptime_seconds",
 )
 

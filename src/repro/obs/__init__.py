@@ -26,7 +26,15 @@ table and the shadow-verification contract.
 
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from .shadow import SHADOW_RATE_ENV, ShadowSampler, resolve_shadow_rate
-from .trace import TRACE_FILE_ENV, Span, Trace, TraceSink, resolve_trace_sink
+from .trace import (
+    KNOWN_SPANS,
+    TRACE_FILE_ENV,
+    Span,
+    SpanTimingSink,
+    Trace,
+    TraceSink,
+    resolve_trace_sink,
+)
 
 __all__ = [
     "Counter",
@@ -37,6 +45,8 @@ __all__ = [
     "Span",
     "Trace",
     "TraceSink",
+    "SpanTimingSink",
+    "KNOWN_SPANS",
     "resolve_trace_sink",
     "TRACE_FILE_ENV",
     "ShadowSampler",

@@ -36,10 +36,24 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["Span", "Trace", "TraceSink", "resolve_trace_sink", "TRACE_FILE_ENV"]
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceSink",
+    "SpanTimingSink",
+    "KNOWN_SPANS",
+    "resolve_trace_sink",
+    "TRACE_FILE_ENV",
+]
 
 #: Environment variable naming the default trace-sink file (JSON lines).
 TRACE_FILE_ENV = "REPRO_TRACE_FILE"
+
+#: Span names the session emits today — pre-seeded as histogram series by
+#: :class:`SpanTimingSink` so scrapers see every family from boot.
+KNOWN_SPANS = (
+    "cache_lookup", "plan", "prep", "execute", "inflight_wait", "shadow_verify",
+)
 
 
 @dataclass
@@ -178,33 +192,84 @@ class TraceSink:
         return f"TraceSink({str(self.path)!r})"
 
 
+class SpanTimingSink:
+    """A trace sink feeding per-span duration histograms, then forwarding.
+
+    The deferred follow-up of the observability PR: every finished trace's
+    spans are observed into one ``repro_span_duration_seconds{span=...}``
+    histogram on the given registry — so the latency *shape* of each job
+    phase (cache lookup, planning, prep, execution, in-flight waits,
+    shadow verification) is scrapeable from ``/v1/metrics``, not only
+    reconstructible from trace files.  The trace is then forwarded to the
+    optional ``inner`` sink (the daemon's ``--trace-file``), making this a
+    transparent tee.
+
+    Parameters
+    ----------
+    metrics : MetricsRegistry
+        Registry owning the histogram (the daemon passes its own).
+    inner : optional
+        Downstream sink receiving every trace unchanged (anything with an
+        ``emit``; typically a :class:`TraceSink` or None).
+    """
+
+    def __init__(self, metrics, inner=None):
+        self.inner = inner
+        self._histogram = metrics.histogram(
+            "repro_span_duration_seconds",
+            "Wall-clock duration of job phases (trace spans), labeled by span.",
+        )
+        for name in KNOWN_SPANS:
+            self._histogram.labels(span=name)
+
+    def emit(self, trace: "Trace | dict") -> None:
+        """Observe every span's duration, then forward to the inner sink."""
+        try:
+            document = trace.to_dict() if isinstance(trace, Trace) else dict(trace)
+            for span in document.get("spans", ()):
+                duration = span.get("duration_s")
+                name = span.get("name")
+                if name and duration is not None:
+                    self._histogram.labels(span=str(name)).observe(float(duration))
+        except (AttributeError, TypeError, ValueError):
+            pass  # observability failure is never an execution failure
+        if self.inner is not None:
+            self.inner.emit(trace)
+
+    def __repr__(self) -> str:
+        return f"SpanTimingSink(inner={self.inner!r})"
+
+
 def resolve_trace_sink(sink=None) -> TraceSink | None:
     """Resolve the user-facing trace-sink knob to a :class:`TraceSink`.
 
     Parameters
     ----------
-    sink : None, False, str, Path or TraceSink
+    sink : None, False, str, Path, TraceSink or sink-like
         ``None`` defers to ``$REPRO_TRACE_FILE`` (no sink when unset),
         ``False`` disables emission even when the environment names a
-        file, a path selects that file, and an existing sink instance is
-        passed through (the daemon shares one across its workers).
+        file, a path selects that file, and an existing sink instance —
+        anything with a callable ``emit`` (a :class:`TraceSink`, a
+        :class:`SpanTimingSink`, a test double) — is passed through (the
+        daemon shares one across its workers).
 
     Returns
     -------
-    TraceSink or None
+    TraceSink or sink-like or None
         The resolved sink.
     """
     if sink is False:
         return None
-    if isinstance(sink, TraceSink):
-        return sink
     if sink is None:
         env = os.environ.get(TRACE_FILE_ENV)
         return TraceSink(env) if env else None
     if isinstance(sink, (str, Path)):
         return TraceSink(sink)
+    if callable(getattr(sink, "emit", None)):
+        return sink
     from ..utils.validation import ValidationError
 
     raise ValidationError(
-        f"trace_sink must be None, False, a path or a TraceSink, got {sink!r}"
+        f"trace_sink must be None, False, a path or a trace sink (an object"
+        f" with an emit method), got {sink!r}"
     )

@@ -13,7 +13,10 @@ and across daemon restarts.
 Pieces:
 
 * :mod:`~repro.service.queue` — :class:`JobQueue`, the SQLite-journaled
-  job store (``queued → running → done | failed``; restart recovery),
+  job store (``queued → running → done | failed``) with **lease-based
+  claims**: N daemons drain one queue, heartbeats keep claims alive,
+  expired leases are reclaimed by any peer, and a monotonic fencing
+  token (:class:`StaleLeaseError`) keeps stale owners from publishing,
 * :mod:`~repro.service.workers` — :class:`WorkerPool`, N worker threads
   each owning a session over the shared store,
 * :mod:`~repro.service.http` — the JSON endpoints
@@ -23,7 +26,10 @@ Pieces:
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the thin
   ``urllib`` client returning first-class ``ExperimentResult`` objects,
 * :mod:`~repro.service.smoke` — the self-contained end-to-end check CI
-  boots (``python -m repro.service.smoke``).
+  boots (``python -m repro.service.smoke``),
+* :mod:`~repro.service.cluster` — the multi-daemon subprocess harness
+  (:class:`ServiceCluster`) with SIGKILL/SIGSTOP fault injection, and
+  the CI ``cluster-smoke`` check (``python -m repro.service.cluster``).
 
 Run the daemon with ``python -m repro.service`` (see ``docs/service.md``
 for the API reference and ``docs/operations.md`` for deployment).
@@ -31,7 +37,7 @@ for the API reference and ``docs/operations.md`` for deployment).
 
 from .client import JobFailedError, ServiceClient, ServiceError
 from .daemon import ExperimentService, ServiceConfig
-from .queue import JOB_STATUSES, Job, JobQueue
+from .queue import JOB_STATUSES, Job, JobQueue, StaleLeaseError
 from .workers import WorkerPool
 
 __all__ = [
@@ -43,5 +49,6 @@ __all__ = [
     "JobQueue",
     "Job",
     "JOB_STATUSES",
+    "StaleLeaseError",
     "WorkerPool",
 ]

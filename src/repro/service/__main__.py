@@ -6,13 +6,17 @@ Usage::
         [--queue PATH] [--workers N] [--session-num-workers N]
         [--gc-interval SECONDS] [--results-max-bytes N]
         [--results-max-age SECONDS] [--shadow-rate RATE]
-        [--trace-file PATH]
+        [--trace-file PATH] [--lease SECONDS] [--heartbeat SECONDS]
+        [--owner-id ID] [--poll SECONDS]
 
 Without ``--root`` the daemon uses the default store location (the same
 ``store="auto"`` resolution as everywhere else: ``$REPRO_STORE_DIR``, else
 ``$XDG_CACHE_HOME/repro/store``, else ``~/.cache/repro/store``).  The job
 queue defaults to ``<store root>/service/queue.sqlite3`` and survives
-restarts — queued jobs resume, running jobs are re-queued.
+restarts — queued jobs resume, orphaned running jobs are re-queued.
+Several daemons may share one ``--queue`` (and store root): claims are
+leased and heartbeat-extended, so a dead daemon's jobs migrate to its
+peers — see ``docs/operations.md`` ("Running multiple daemons").
 
 The process runs in the foreground until interrupted (Ctrl-C / SIGTERM);
 see ``docs/operations.md`` for supervision and deployment guidance.
@@ -57,6 +61,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-file", default=None, metavar="PATH",
                         help="JSON-lines file receiving one trace per executed job "
                              "(default: $REPRO_TRACE_FILE, else no tracing sink)")
+    parser.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                        help="job-claim lease duration; peers reclaim a job whose "
+                             "lease expires (default: 30; <= 0 disables leasing)")
+    parser.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                        help="lease-extension cadence (default: lease/3)")
+    parser.add_argument("--owner-id", default=None, metavar="ID",
+                        help="lease identity of this daemon (default: a unique "
+                             "<hostname>-<pid>-<random>; override for debugging only)")
+    parser.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="idle-worker queue poll — the discovery latency for "
+                             "jobs submitted through a peer daemon (default: 0.5)")
     return parser
 
 
@@ -75,6 +90,10 @@ def main(argv=None) -> int:
         results_max_age_s=args.results_max_age,
         shadow_rate=args.shadow_rate,
         trace_file=args.trace_file,
+        owner_id=args.owner_id,
+        lease_s=args.lease,
+        heartbeat_s=args.heartbeat,
+        poll_s=args.poll,
     )
     service = ExperimentService(config)
 
@@ -88,7 +107,9 @@ def main(argv=None) -> int:
     print(f"repro.service listening on {service.url}")
     print(f"  store: {service.store.root}")
     print(f"  queue: {service.queue.path} ({service.recovered_jobs} job(s) recovered)")
-    print(f"  workers: {service.pool.workers}", flush=True)
+    print(f"  workers: {service.pool.workers}")
+    lease = f"{service.lease_s}s" if service.lease_s is not None else "off"
+    print(f"  lease: {lease} (owner {service.owner_id})", flush=True)
     service.serve_forever()
     print("repro.service stopped")
     return 0

@@ -27,17 +27,19 @@ or from the command line: ``python -m repro.service`` (see
 
 from __future__ import annotations
 
+import os
+import socket
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
 from .http import make_server
 from .queue import JobQueue
 from .workers import WorkerPool
-from ..obs import MetricsRegistry, resolve_trace_sink
+from ..obs import MetricsRegistry, SpanTimingSink, resolve_trace_sink
 from ..store import resolve_store
-from ..utils.locks import FileLock
 from ..utils.validation import ValidationError
 
 __all__ = ["ServiceConfig", "ExperimentService"]
@@ -78,6 +80,21 @@ class ServiceConfig:
     trace_file : str or Path, optional
         JSON-lines trace sink shared by every worker session
         (``--trace-file``; defaults to ``$REPRO_TRACE_FILE`` when unset).
+    owner_id : str, optional
+        This daemon's identity in the queue's lease columns.  Defaults to
+        ``<hostname>-<pid>-<random>`` — unique per process, which is what
+        fencing requires.  Set it explicitly only for debugging/tests.
+    lease_s : float
+        Job-claim lease duration (``--lease``).  A daemon that misses
+        heartbeats for this long forfeits its running jobs to its peers.
+        ``<= 0`` disables leasing (legacy single-daemon claims).
+    heartbeat_s : float, optional
+        Lease-extension cadence (``--heartbeat``; default ``lease_s/3``).
+    poll_s : float
+        Idle-worker queue poll (``--poll``).  Local submissions notify
+        workers instantly; this is the discovery latency for jobs
+        submitted *through a peer daemon* on the same queue — tighten it
+        in latency-sensitive multi-daemon deployments.
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +108,10 @@ class ServiceConfig:
     results_max_age_s: float | None = None
     shadow_rate: float | None = None
     trace_file: str | Path | None = None
+    owner_id: str | None = None
+    lease_s: float = 30.0
+    heartbeat_s: float | None = None
+    poll_s: float = 0.5
 
 
 class ExperimentService:
@@ -133,19 +154,37 @@ class ExperimentService:
         #: at scrape time by :meth:`metrics_text` (``GET /v1/metrics``).
         self.metrics = MetricsRegistry()
         self.queue = JobQueue(queue_path, metrics=self.metrics)
+        #: This daemon's lease identity: unique per process by default,
+        #: which is exactly what the fencing protocol requires.
+        self.owner_id = config.owner_id or (
+            f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        lease_s = float(config.lease_s) if config.lease_s else 0.0
+        self.lease_s = lease_s if lease_s > 0 else None
+        self.heartbeat_s = (
+            float(config.heartbeat_s) if config.heartbeat_s is not None
+            else (self.lease_s / 3.0 if self.lease_s is not None else None)
+        )
         self.pool = WorkerPool(
             self.queue,
             self.store,
             workers=config.workers,
             session_num_workers=config.session_num_workers,
             shadow_rate=config.shadow_rate,
-            trace_sink=resolve_trace_sink(config.trace_file),
+            # wrap the configured sink so every job's trace also feeds the
+            # per-span duration histograms of /v1/metrics
+            trace_sink=SpanTimingSink(
+                self.metrics, inner=resolve_trace_sink(config.trace_file)
+            ),
+            owner_id=self.owner_id if self.lease_s is not None else None,
+            lease_s=self.lease_s,
+            heartbeat_s=self.heartbeat_s,
+            poll_s=config.poll_s,
         )
         self._server = None
         self._server_thread: threading.Thread | None = None
         self._gc_thread: threading.Thread | None = None
         self._gc_stop = threading.Event()
-        self._queue_owner: FileLock | None = None
         self._started_at: float | None = None
         self.recovered_jobs = 0
         #: Outcome of the most recent background GC sweep (observability).
@@ -157,42 +196,24 @@ class ExperimentService:
     def start(self) -> "ExperimentService":
         """Recover the queue, start workers, GC sweep and the HTTP server.
 
-        Raises
-        ------
-        ValidationError
-            When another daemon already owns this queue database — the
-            queue is single-daemon by design (see ``docs/operations.md``);
-            scaling out means several daemons with *distinct* ``--queue``
-            paths over one store root.  Failing fast here prevents a
-            second daemon's boot-time recovery from re-queueing jobs the
-            live daemon is executing.
+        Any number of daemons may share one queue database: boot-time
+        recovery is lease-aware (:meth:`JobQueue.recover` only re-queues
+        *orphaned* jobs — unleased or expired — never a healthy peer's),
+        so joining a running cluster steals no work.  See
+        ``docs/operations.md`` ("Running multiple daemons").
         """
         if self._server is not None:
             return self
-        owner = FileLock(self.queue.path.with_name(self.queue.path.name + ".owner"))
-        try:
-            owner.acquire(timeout=0)
-        except TimeoutError:
-            raise ValidationError(
-                f"job queue {self.queue.path} is owned by a running daemon; "
-                "give this instance its own queue path (--queue)"
-            ) from None
-        self._queue_owner = owner
-        try:
-            self.queue.ensure_open()  # restarting a stopped instance reconnects
-            self.recovered_jobs = self.queue.recover()
-            self.pool.start()
-            if self.config.gc_interval_s is not None:
-                self._gc_stop.clear()
-                self._gc_thread = threading.Thread(
-                    target=self._gc_loop, name="repro-service-gc", daemon=True
-                )
-                self._gc_thread.start()
-            self._server = make_server(self.config.host, self.config.port, self)
-        except BaseException:
-            owner.release()
-            self._queue_owner = None
-            raise
+        self.queue.ensure_open()  # restarting a stopped instance reconnects
+        self.recovered_jobs = self.queue.recover()
+        self.pool.start()
+        if self.config.gc_interval_s is not None:
+            self._gc_stop.clear()
+            self._gc_thread = threading.Thread(
+                target=self._gc_loop, name="repro-service-gc", daemon=True
+            )
+            self._gc_thread.start()
+        self._server = make_server(self.config.host, self.config.port, self)
         self._server_thread = threading.Thread(
             target=self._server.serve_forever,
             name="repro-service-http",
@@ -223,9 +244,6 @@ class ExperimentService:
             self._gc_thread.join(timeout=10.0)
             self._gc_thread = None
         self.queue.close()
-        if self._queue_owner is not None:
-            self._queue_owner.release()
-            self._queue_owner = None
         self._started_at = None
 
     def __enter__(self) -> "ExperimentService":
@@ -270,7 +288,14 @@ class ExperimentService:
     # observability (the HTTP handler calls these)
     # ------------------------------------------------------------------ #
     def health(self) -> dict:
-        """The ``/healthz`` document: liveness plus the proof counters."""
+        """The ``/healthz`` document: liveness plus the proof counters.
+
+        The ``lease`` block is the scale-out surface: this daemon's
+        identity and lease tuning, the cluster-wide lease health of the
+        running set (``active``/``expired``/``unleased``), and this
+        instance's ``reclaimed``/``lease_expirations``/``lost_leases``
+        counters — how a kill-one-of-N takeover is proven from outside.
+        """
         return {
             "status": "ok",
             "uptime_s": (time.time() - self._started_at) if self._started_at else 0.0,
@@ -278,6 +303,13 @@ class ExperimentService:
             "jobs": self.queue.counts(),
             "recovered_jobs": self.recovered_jobs,
             "sessions": self.pool.aggregate_stats(),
+            "lease": {
+                "owner_id": self.owner_id,
+                "lease_s": self.lease_s,
+                "heartbeat_s": self.heartbeat_s,
+                "lost_leases": self.pool.lost_leases,
+                **self.queue.lease_stats(),
+            },
             "store_root": str(self.store.root),
             "queue_path": str(self.queue.path),
             "last_gc": self.last_gc,
@@ -338,6 +370,14 @@ class ExperimentService:
             "repro_recovered_jobs_total",
             "Jobs re-queued at boot after a previous daemon died mid-execution.",
         ).set(self.recovered_jobs)
+        metrics.counter(
+            "repro_jobs_reclaimed_total",
+            "Expired-lease jobs this daemon took over from dead peers.",
+        ).set(self.queue.reclaimed)
+        metrics.counter(
+            "repro_lease_expirations_total",
+            "Lease expirations this daemon observed (reclaims + boot recovery).",
+        ).set(self.queue.lease_expirations)
 
         store_events = metrics.counter(
             "repro_store_events_total",

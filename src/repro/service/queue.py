@@ -1,25 +1,39 @@
-"""The persistent job queue behind the experiment service daemon.
+"""The persistent job queue behind the experiment service daemon(s).
 
 Jobs — submitted experiment specs plus their lifecycle state — are
 journaled in a single SQLite database (WAL mode), so the queue survives
 daemon restarts: queued jobs are still queued, finished jobs keep their
-result document, and jobs that were *running* when the process died are
-re-queued by :meth:`JobQueue.recover` on the next boot (their ``attempts``
-counter records the retry).
+result document, and jobs orphaned by a dead daemon are recovered (their
+``attempts`` counter records the retry).
 
-The queue is intentionally single-writer-process: one daemon owns the
-database, its HTTP threads submit and its worker threads claim, all
-serialized on one in-process lock around a shared connection.  Restart
-durability comes from SQLite's journal, not from multi-process access —
-cross-process coordination of the *work itself* happens one layer down, on
-the artifact store's in-flight locks (see ``docs/service.md``).
+**Horizontal scale-out** (the ROADMAP's top open item): the queue is no
+longer single-daemon.  Claims are **leases** — a claim writes
+``(owner, lease_expiry)`` and the owner heartbeats to extend it — so N
+daemon processes can drain one queue through SQLite's cross-process WAL
+locking.  Liveness and safety come from two mechanisms:
+
+* **Reclaim** (liveness): any daemon's :meth:`JobQueue.claim` may take
+  over a ``running`` job whose lease expired — the generalization of
+  :meth:`JobQueue.recover` from "I restarted" to "someone died".  A
+  crashed (or wedged) daemon's jobs migrate to its peers after at most
+  one lease interval, no restart required.
+* **Fencing** (safety): every (re)claim increments the job's monotonic
+  ``lease_generation``.  Completion is conditional on the caller still
+  holding the generation it claimed, so a stale owner that wakes up
+  *after* its lease was reclaimed gets :class:`StaleLeaseError` instead
+  of publishing over the reclaimer's result.
+
+Claims without an owner (``claim()`` with no arguments) remain plain
+FIFO with no lease — single-process embedders and tests keep the old
+semantics verbatim.
 
 Job lifecycle::
 
-    queued ──claim()──▶ running ──complete()──▶ done
-       ▲                   │
-       │                   ├──fail()──▶ failed
-       └───recover()───────┘   (daemon restart re-queues running jobs)
+    queued ──claim(owner)──▶ running ──complete()──▶ done
+       ▲                    │      ▲ │
+       │          heartbeat └──────┘ ├──fail()──▶ failed
+       │                             │
+       └──recover() / expired-lease reclaim by any daemon──┘
 """
 
 from __future__ import annotations
@@ -34,30 +48,62 @@ from pathlib import Path
 
 from ..utils.validation import ValidationError
 
-__all__ = ["Job", "JobQueue", "JOB_STATUSES"]
+__all__ = ["Job", "JobQueue", "JOB_STATUSES", "StaleLeaseError"]
 
 #: The four job lifecycle states, in progression order.
 JOB_STATUSES = ("queued", "running", "done", "failed")
 
+#: Seconds SQLite retries a locked database before erroring — generous,
+#: because N daemons share the file and writes are all sub-millisecond.
+_BUSY_TIMEOUT_MS = 10_000
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
-    id            TEXT PRIMARY KEY,
-    spec          TEXT NOT NULL,
-    status        TEXT NOT NULL,
-    submitted_at  REAL NOT NULL,
-    started_at    REAL,
-    finished_at   REAL,
-    attempts      INTEGER NOT NULL DEFAULT 0,
-    error         TEXT,
-    result        TEXT
+    id               TEXT PRIMARY KEY,
+    spec             TEXT NOT NULL,
+    status           TEXT NOT NULL,
+    submitted_at     REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    error            TEXT,
+    result           TEXT,
+    owner            TEXT,
+    lease_expiry     REAL,
+    lease_generation INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, submitted_at);
 """
 
+#: Columns added after the first released schema, applied by the
+#: idempotent migration in :meth:`JobQueue._connect` so a pre-lease
+#: queue file keeps working (its jobs simply carry NULL leases).
+_MIGRATIONS = (
+    ("owner", "ALTER TABLE jobs ADD COLUMN owner TEXT"),
+    ("lease_expiry", "ALTER TABLE jobs ADD COLUMN lease_expiry REAL"),
+    (
+        "lease_generation",
+        "ALTER TABLE jobs ADD COLUMN lease_generation INTEGER NOT NULL DEFAULT 0",
+    ),
+)
+
 _COLUMNS = (
     "id", "spec", "status", "submitted_at", "started_at", "finished_at",
-    "attempts", "error", "result",
+    "attempts", "error", "result", "owner", "lease_expiry", "lease_generation",
 )
+
+
+class StaleLeaseError(RuntimeError):
+    """A finish/heartbeat lost the fencing check: the lease moved on.
+
+    Raised by :meth:`JobQueue.complete` / :meth:`JobQueue.fail` when the
+    caller's ``(owner_id, lease_generation)`` no longer matches the job —
+    its lease expired and another daemon reclaimed (or recovery re-queued)
+    the job.  The caller must drop its outcome on the floor: the current
+    generation's owner is the only one allowed to publish.  Results being
+    content-addressed makes this loss harmless — the reclaimer recomputes
+    or replays the bit-identical payload.
+    """
 
 
 @dataclass(frozen=True)
@@ -76,12 +122,22 @@ class Job:
         Unix timestamps of the lifecycle transitions.
     attempts : int
         How many times the job has been claimed by a worker (> 1 after a
-        restart-recovery or retry).
+        restart-recovery, retry or expired-lease reclaim).
     error : str or None
         Failure message (``failed`` jobs only).
     result_json : str or None
         The finished :class:`~repro.session.results.ExperimentResult`
         document (``done`` jobs only).
+    owner : str or None
+        Identity of the daemon holding (or, for finished jobs, last
+        having held) the job's lease; None for owner-less legacy claims.
+    lease_expiry : float or None
+        Unix timestamp the current lease expires at; past it, any daemon
+        may reclaim the job.  ``None`` for legacy owner-less claims.
+    lease_generation : int
+        Monotonic fencing token, incremented by every (re)claim and
+        recovery — completion is conditional on it, so a stale owner can
+        never publish over the current one.
     """
 
     id: str
@@ -93,6 +149,9 @@ class Job:
     attempts: int
     error: str | None
     result_json: str | None
+    owner: str | None = None
+    lease_expiry: float | None = None
+    lease_generation: int = 0
 
     def to_public_dict(self, include_result: bool = True) -> dict:
         """The job as the HTTP API reports it (``GET /v1/experiments/<id>``)."""
@@ -105,6 +164,12 @@ class Job:
             "finished_at": self.finished_at,
             "attempts": self.attempts,
         }
+        if self.owner is not None:
+            payload["owner"] = self.owner
+        if self.lease_expiry is not None:
+            payload["lease_expiry"] = self.lease_expiry
+        if self.lease_generation:
+            payload["lease_generation"] = self.lease_generation
         if self.error is not None:
             payload["error"] = self.error
         if include_result and self.result_json is not None:
@@ -119,28 +184,47 @@ def _row_to_job(row: tuple) -> Job:
     return Job(**values)
 
 
+def _sanitize_text(text: str) -> str:
+    """Coerce arbitrary text to valid UTF-8 (lone surrogates replaced).
+
+    Exception messages can carry undecodable bytes (``repr`` of binary
+    data surfaces as surrogate escapes); stored verbatim they would make
+    the job row unserializable by ``json.dumps`` later.  Round-tripping
+    through UTF-8 with replacement keeps the message readable and the
+    API JSON-safe.
+    """
+    return text.encode("utf-8", "replace").decode("utf-8")
+
+
 class JobQueue:
-    """SQLite-journaled FIFO of experiment jobs (restart-durable).
+    """SQLite-journaled job queue (restart-durable, multi-daemon safe).
 
     Parameters
     ----------
     path : str or Path
         Database file (created, with parents, on first use).  The WAL
-        journal keeps every transition durable across daemon restarts.
+        journal keeps every transition durable across daemon restarts
+        and serializes writers across daemon *processes*.
 
     Notes
     -----
-    All operations serialize on one in-process lock around a single
-    connection (``check_same_thread=False``): the queue is owned by one
-    daemon process whose HTTP and worker threads share it.  Workers block
-    in :meth:`wait` on an internal condition that :meth:`submit` notifies,
-    so an idle pool wakes immediately on submission instead of polling.
+    In-process, all operations serialize on one lock around a shared
+    connection (``check_same_thread=False``); across processes, SQLite's
+    WAL locking plus conditional-``UPDATE`` claims (checked by rowcount)
+    make every lifecycle transition atomic, so N daemons can open the
+    same file and drain it together.  Workers block in :meth:`wait` on an
+    internal condition that :meth:`submit` notifies, so an idle pool
+    wakes immediately on local submission (remote daemons' submissions
+    are picked up by the poll timeout).
 
     When a :class:`~repro.obs.metrics.MetricsRegistry` is attached (the
     daemon does this), the queue feeds two live histograms:
     ``repro_job_queue_latency_seconds`` (submission → claim, observed at
     claim time) and ``repro_job_duration_seconds{status=...}``
-    (claim → completion, observed when the job finishes).
+    (claim → completion, observed when the job finishes).  The
+    :attr:`reclaimed` / :attr:`lease_expirations` counters back the
+    ``repro_jobs_reclaimed_total`` / ``repro_lease_expirations_total``
+    series.
     """
 
     def __init__(self, path: str | Path, metrics=None):
@@ -151,6 +235,11 @@ class JobQueue:
         self._closed = True
         self._queue_latency = None
         self._job_duration = None
+        #: Expired-lease jobs this instance took over from dead owners.
+        self.reclaimed = 0
+        #: Lease expirations this instance observed (reclaims + expired
+        #: leases re-queued by :meth:`recover`).
+        self.lease_expirations = 0
         if metrics is not None:
             self.attach_metrics(metrics)
         with self._lock:
@@ -176,9 +265,14 @@ class JobQueue:
     def _connect(self) -> None:
         """(Re-)establish the connection; caller holds ``self._lock``."""
         self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        existing = {row[1] for row in self._conn.execute("PRAGMA table_info(jobs)")}
+        for column, statement in _MIGRATIONS:
+            if column not in existing:
+                self._conn.execute(statement)
         self._conn.commit()
         self._closed = False
 
@@ -229,28 +323,121 @@ class JobQueue:
             self._new_job.notify_all()
         return job_id
 
-    def claim(self) -> Job | None:
-        """Atomically flip the oldest queued job to ``running`` (or None)."""
-        with self._lock:
-            row = self._conn.execute(
-                f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE status = 'queued'"
-                " ORDER BY submitted_at, rowid LIMIT 1"
-            ).fetchone()
-            if row is None:
-                return None
-            job = _row_to_job(row)
+    def claim(self, owner_id: str | None = None, lease_s: float | None = None) -> Job | None:
+        """Claim the next job for this owner: queued FIFO, else a reclaim.
+
+        Parameters
+        ----------
+        owner_id : str, optional
+            Identity the lease is written under.  Without it the claim is
+            the legacy owner-less FIFO flip (no lease, no reclaim) —
+            exactly the pre-lease semantics.
+        lease_s : float, optional
+            Lease duration in seconds; required together with
+            ``owner_id`` for leased claims.  The owner must
+            :meth:`heartbeat` well within this interval (a third is a
+            good cadence) or its job becomes reclaimable.
+
+        Returns
+        -------
+        Job or None
+            The claimed job (``running``, lease fields set for leased
+            claims), or None when there is neither a queued job nor — for
+            leased claimants — an expired-lease job to take over.
+
+        Notes
+        -----
+        Cross-process safety: the queued→running flip is a conditional
+        ``UPDATE … WHERE status = 'queued'`` checked by rowcount, so two
+        daemons selecting the same candidate race harmlessly — exactly
+        one wins, the loser retries the next candidate.  A reclaim is
+        additionally fenced on the generation it observed, then
+        increments it, stamping the previous owner stale.
+        """
+        leased = owner_id is not None and lease_s is not None
+        while True:
             now = time.time()
-            self._conn.execute(
-                "UPDATE jobs SET status = 'running', started_at = ?,"
-                " attempts = attempts + 1 WHERE id = ?",
-                (now, job.id),
-            )
-            self._conn.commit()
-        if self._queue_latency is not None:
-            self._queue_latency.observe(max(0.0, now - job.submitted_at))
-        return replace(
-            job, status="running", started_at=now, attempts=job.attempts + 1
+            expiry = now + lease_s if leased else None
+            with self._lock:
+                row = self._conn.execute(
+                    f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE status = 'queued'"
+                    " ORDER BY submitted_at, rowid LIMIT 1"
+                ).fetchone()
+                if row is not None:
+                    job = _row_to_job(row)
+                    won = self._conn.execute(
+                        "UPDATE jobs SET status = 'running', started_at = ?,"
+                        " attempts = attempts + 1, owner = ?, lease_expiry = ?,"
+                        " lease_generation = lease_generation + 1"
+                        " WHERE id = ? AND status = 'queued'",
+                        (now, owner_id, expiry, job.id),
+                    ).rowcount
+                    self._conn.commit()
+                    if not won:
+                        continue  # another daemon flipped it first; retry
+                    if self._queue_latency is not None:
+                        self._queue_latency.observe(max(0.0, now - job.submitted_at))
+                    return replace(
+                        job, status="running", started_at=now,
+                        attempts=job.attempts + 1, owner=owner_id,
+                        lease_expiry=expiry,
+                        lease_generation=job.lease_generation + 1,
+                    )
+                if not leased:
+                    return None
+                row = self._conn.execute(
+                    f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE status = 'running'"
+                    " AND lease_expiry IS NOT NULL AND lease_expiry < ?"
+                    " ORDER BY lease_expiry, rowid LIMIT 1",
+                    (now,),
+                ).fetchone()
+                if row is None:
+                    return None
+                job = _row_to_job(row)
+                won = self._conn.execute(
+                    "UPDATE jobs SET owner = ?, lease_expiry = ?, started_at = ?,"
+                    " attempts = attempts + 1,"
+                    " lease_generation = lease_generation + 1"
+                    " WHERE id = ? AND status = 'running' AND lease_generation = ?",
+                    (owner_id, expiry, now, job.id, job.lease_generation),
+                ).rowcount
+                self._conn.commit()
+                if not won:
+                    continue  # raced another reclaimer (or a finish); retry
+                self.reclaimed += 1
+                self.lease_expirations += 1
+                return replace(
+                    job, started_at=now, attempts=job.attempts + 1,
+                    owner=owner_id, lease_expiry=expiry,
+                    lease_generation=job.lease_generation + 1,
+                )
+
+    def heartbeat(
+        self,
+        job_id: str,
+        owner_id: str,
+        lease_s: float,
+        lease_generation: int | None = None,
+    ) -> bool:
+        """Extend one running job's lease; False when the lease is lost.
+
+        A False return is the owner's signal to abandon the job: its
+        lease expired and was reclaimed (or the job already finished).
+        The owner keeps computing at its own risk — the fencing check in
+        :meth:`complete` is what actually protects the result.
+        """
+        query = (
+            "UPDATE jobs SET lease_expiry = ?"
+            " WHERE id = ? AND owner = ? AND status = 'running'"
         )
+        params: tuple = (time.time() + lease_s, job_id, owner_id)
+        if lease_generation is not None:
+            query += " AND lease_generation = ?"
+            params += (lease_generation,)
+        with self._lock:
+            extended = self._conn.execute(query, params).rowcount
+            self._conn.commit()
+        return bool(extended)
 
     def wait(self, timeout: float) -> None:
         """Block up to ``timeout`` seconds for a submission notification."""
@@ -265,17 +452,59 @@ class JobQueue:
     # ------------------------------------------------------------------ #
     # completion
     # ------------------------------------------------------------------ #
-    def complete(self, job_id: str, result_json: str) -> None:
-        """Mark one running job ``done``, storing its result document."""
-        self._finish(job_id, "done", result=result_json)
+    def complete(
+        self,
+        job_id: str,
+        result_json: str,
+        owner_id: str | None = None,
+        lease_generation: int | None = None,
+    ) -> None:
+        """Mark one running job ``done``, storing its result document.
 
-    def fail(self, job_id: str, error: str) -> None:
-        """Mark one running job ``failed``, storing the error message."""
-        self._finish(job_id, "failed", error=error)
+        With ``owner_id`` and ``lease_generation`` the transition is
+        fenced: it only applies while the caller still holds that exact
+        lease, and raises :class:`StaleLeaseError` otherwise.
+        """
+        self._finish(job_id, "done", result=result_json,
+                     owner_id=owner_id, lease_generation=lease_generation)
 
-    def _finish(self, job_id: str, status: str,
-                result: str | None = None, error: str | None = None) -> None:
+    def fail(
+        self,
+        job_id: str,
+        error: str,
+        owner_id: str | None = None,
+        lease_generation: int | None = None,
+    ) -> None:
+        """Mark one running job ``failed``, storing the error message.
+
+        The message is coerced to valid UTF-8 (see ``_sanitize_text``);
+        fencing works as in :meth:`complete`.
+        """
+        self._finish(job_id, "failed", error=_sanitize_text(error),
+                     owner_id=owner_id, lease_generation=lease_generation)
+
+    def _finish(
+        self,
+        job_id: str,
+        status: str,
+        result: str | None = None,
+        error: str | None = None,
+        owner_id: str | None = None,
+        lease_generation: int | None = None,
+    ) -> None:
         now = time.time()
+        fenced = owner_id is not None and lease_generation is not None
+        # the lease itself ends here (expiry cleared) but the owner stays
+        # on the record — "which daemon finished this job" is the takeover
+        # oracle of the crash harness and of operators reading the API
+        query = (
+            "UPDATE jobs SET status = ?, finished_at = ?, result = ?, error = ?,"
+            " lease_expiry = NULL WHERE id = ?"
+        )
+        params: tuple = (status, now, result, error, job_id)
+        if fenced:
+            query += " AND owner = ? AND lease_generation = ? AND status = 'running'"
+            params += (owner_id, lease_generation)
         with self._lock:
             started_at = None
             if self._job_duration is not None:
@@ -283,14 +512,19 @@ class JobQueue:
                     "SELECT started_at FROM jobs WHERE id = ?", (job_id,)
                 ).fetchone()
                 started_at = row[0] if row is not None else None
-            updated = self._conn.execute(
-                "UPDATE jobs SET status = ?, finished_at = ?, result = ?, error = ?"
-                " WHERE id = ?",
-                (status, now, result, error, job_id),
-            ).rowcount
+            updated = self._conn.execute(query, params).rowcount
             self._conn.commit()
-        if not updated:
-            raise KeyError(f"unknown job id {job_id!r}")
+            if not updated:
+                exists = self._conn.execute(
+                    "SELECT 1 FROM jobs WHERE id = ?", (job_id,)
+                ).fetchone()
+                if exists is None:
+                    raise KeyError(f"unknown job id {job_id!r}")
+                raise StaleLeaseError(
+                    f"job {job_id!r}: lease generation {lease_generation} of"
+                    f" owner {owner_id!r} is stale — the job was reclaimed;"
+                    " dropping this outcome"
+                )
         if self._job_duration is not None and started_at is not None:
             self._job_duration.labels(status=status).observe(max(0.0, now - started_at))
 
@@ -331,23 +565,75 @@ class JobQueue:
         counts.update(dict(rows))
         return counts
 
-    def recover(self) -> int:
-        """Re-queue jobs left ``running`` by a dead daemon; return the count.
+    def lease_stats(self) -> dict[str, int]:
+        """Lease health of the running set (for ``/healthz`` and metrics).
 
-        Called once at service start, *before* any worker claims: a job
-        that was mid-execution when the previous process died goes back to
-        the head of the queue (its ``submitted_at`` is unchanged, so FIFO
-        order is preserved) and will be claimed again.  Re-execution is
-        safe — results are content-addressed, so a re-run either replays
-        the already-published entry from the cache or recomputes the
+        Returns
+        -------
+        dict
+            ``active`` / ``expired`` / ``unleased`` running-job counts
+            (a point-in-time snapshot of the whole queue, i.e. all
+            daemons), plus this instance's cumulative ``reclaimed`` and
+            ``lease_expirations`` counters.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT"
+                " SUM(CASE WHEN lease_expiry IS NULL THEN 1 ELSE 0 END),"
+                " SUM(CASE WHEN lease_expiry >= ? THEN 1 ELSE 0 END),"
+                " SUM(CASE WHEN lease_expiry < ? THEN 1 ELSE 0 END)"
+                " FROM jobs WHERE status = 'running'",
+                (now, now),
+            ).fetchone()
+        unleased, active, expired = (int(v or 0) for v in rows)
+        return {
+            "active": active,
+            "expired": expired,
+            "unleased": unleased,
+            "reclaimed": self.reclaimed,
+            "lease_expirations": self.lease_expirations,
+        }
+
+    def recover(self) -> int:
+        """Re-queue orphaned ``running`` jobs; return the count.
+
+        Called once at service start, *before* any worker claims.  Two
+        kinds of orphan go back to the head of the queue (``submitted_at``
+        unchanged, so FIFO order is preserved):
+
+        * **unleased** running jobs — legacy owner-less claims; only the
+          daemon that claimed them can have died for them to still be
+          ``running`` here;
+        * **expired-lease** running jobs — some daemon (this one or a
+          peer) died or wedged past its lease.
+
+        Jobs under a *live* lease belong to a healthy peer daemon and are
+        left alone — recovery is lease-aware, so booting a new daemon
+        into a running cluster never steals work.  Each re-queue bumps
+        ``lease_generation``, fencing off the previous owner exactly as a
+        reclaim does.  Re-execution is safe — results are
+        content-addressed, so a re-run either replays the
+        already-published entry from the cache or recomputes the
         bit-identical payload.
         """
+        now = time.time()
         with self._lock:
+            expired = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE status = 'running'"
+                " AND lease_expiry IS NOT NULL AND lease_expiry < ?",
+                (now,),
+            ).fetchone()[0]
             recovered = self._conn.execute(
-                "UPDATE jobs SET status = 'queued', started_at = NULL"
+                "UPDATE jobs SET status = 'queued', started_at = NULL,"
+                " owner = NULL, lease_expiry = NULL,"
+                " lease_generation = lease_generation + 1"
                 " WHERE status = 'running'"
+                " AND (lease_expiry IS NULL OR lease_expiry < ?)",
+                (now,),
             ).rowcount
             self._conn.commit()
+            self.lease_expirations += int(expired)
             if recovered:
                 self._new_job.notify_all()
         return recovered

@@ -16,16 +16,32 @@ compose for free:
 Workers pull from the :class:`~repro.service.queue.JobQueue`; a failed
 execution marks the job ``failed`` with the exception message and the
 worker moves on — one bad spec never takes the pool down.
+
+With an ``owner_id`` and ``lease_s`` (the daemon provides both), claims
+are **leased**: a per-job heartbeat thread extends the lease while the
+job runs, and completion is fenced on the claim's ``lease_generation`` —
+if the lease was reclaimed by a peer daemon in the meantime, the finish
+raises :class:`~repro.service.queue.StaleLeaseError`, the outcome is
+dropped (counted in :attr:`WorkerPool.lost_leases`) and the reclaimer's
+result stands.  See ``docs/operations.md`` ("Running multiple daemons").
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 
-from .queue import JobQueue
+from .queue import JobQueue, StaleLeaseError
 from ..session import Session, spec_from_dict
 
 __all__ = ["WorkerPool"]
+
+#: Test/fault-injection hook: seconds each job execution sleeps before
+#: running its session (holding its claim).  Lets the crash harness park
+#: a job mid-execution deterministically, so a SIGKILL provably lands
+#: while the job is running.  Unset (production) it costs nothing.
+FAULT_EXECUTE_DELAY_ENV = "REPRO_FAULT_EXECUTE_DELAY_S"
 
 
 class WorkerPool:
@@ -57,6 +73,14 @@ class WorkerPool:
     trace_sink : optional
         Trace sink shared by every worker session (the daemon's
         ``--trace-file``); each executed job emits one JSON line.
+    owner_id : str, optional
+        The daemon identity claims are leased under.  Without it (plain
+        embedders, tests) claims are the legacy owner-less FIFO flip.
+    lease_s : float, optional
+        Lease duration of each claim; required together with
+        ``owner_id`` for leased claims.
+    heartbeat_s : float, optional
+        Lease-extension cadence (default: a third of ``lease_s``).
     """
 
     def __init__(
@@ -68,6 +92,9 @@ class WorkerPool:
         poll_s: float = 0.5,
         shadow_rate: float | None = None,
         trace_sink=None,
+        owner_id: str | None = None,
+        lease_s: float | None = None,
+        heartbeat_s: float | None = None,
     ):
         self.queue = queue
         self.store = store
@@ -76,11 +103,25 @@ class WorkerPool:
         self.poll_s = float(poll_s)
         self.shadow_rate = shadow_rate
         self.trace_sink = trace_sink
+        self.owner_id = owner_id
+        self.lease_s = None if lease_s is None else float(lease_s)
+        if heartbeat_s is None and self.lease_s is not None:
+            heartbeat_s = self.lease_s / 3.0
+        self.heartbeat_s = None if heartbeat_s is None else float(heartbeat_s)
+        #: Jobs whose outcome this pool had to drop because the lease was
+        #: reclaimed mid-execution (fencing did its job).
+        self.lost_leases = 0
+        self._lost_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._sessions: list[Session] = []
         self._sessions_lock = threading.Lock()
         self._stop = threading.Event()
         self._started = False
+
+    @property
+    def leased(self) -> bool:
+        """Whether this pool claims with leases (owner + duration set)."""
+        return self.owner_id is not None and self.lease_s is not None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -175,7 +216,7 @@ class WorkerPool:
             self._sessions.append(session)
         try:
             while not stop.is_set():
-                job = self.queue.claim()
+                job = self.queue.claim(owner_id=self.owner_id, lease_s=self.lease_s)
                 if job is None:
                     self.queue.wait(timeout=self.poll_s)
                     continue
@@ -183,17 +224,71 @@ class WorkerPool:
         finally:
             session.close()
 
+    def _start_heartbeat(self, job) -> threading.Event | None:
+        """Keep one job's lease alive until the returned event is set.
+
+        The heartbeat carries the claim's ``lease_generation``, so it
+        stops extending (and the thread exits) the moment the lease is
+        reclaimed — a stale owner must not keep a lease it lost looking
+        fresh.  Heartbeat errors are swallowed: the queue being briefly
+        unreachable is survivable as long as one beat lands per lease
+        interval, and a genuinely lost lease is caught by the fencing
+        check at completion either way.
+        """
+        if not self.leased:
+            return None
+        done = threading.Event()
+
+        def beat() -> None:
+            while not done.wait(timeout=self.heartbeat_s):
+                try:
+                    alive = self.queue.heartbeat(
+                        job.id, self.owner_id, self.lease_s,
+                        lease_generation=job.lease_generation,
+                    )
+                except Exception:  # noqa: BLE001 - transient queue errors
+                    continue
+                if not alive:
+                    return
+
+        thread = threading.Thread(
+            target=beat, name=f"repro-lease-heartbeat-{job.id}", daemon=True
+        )
+        thread.start()
+        return done
+
     def _execute_job(self, session: Session, job) -> None:
-        """Run one claimed job; never lets an exception escape the loop."""
+        """Run one claimed job; never lets an exception escape the loop.
+
+        Leased pools finish with the claim's fencing token: a
+        :class:`StaleLeaseError` means a peer reclaimed the job while it
+        ran here — the outcome is dropped (``lost_leases``), because the
+        reclaimer's generation owns the right to publish.
+        """
+        fence = dict(owner_id=self.owner_id, lease_generation=job.lease_generation) \
+            if self.leased else {}
+        heartbeat_done = self._start_heartbeat(job)
         try:
+            delay = float(os.environ.get(FAULT_EXECUTE_DELAY_ENV, 0) or 0)
+            if delay > 0:
+                time.sleep(delay)
             spec = spec_from_dict(job.spec)
             result = session.run(spec)
-            self.queue.complete(job.id, result.to_json(indent=None))
+            self.queue.complete(job.id, result.to_json(indent=None), **fence)
+        except StaleLeaseError:
+            with self._lost_lock:
+                self.lost_leases += 1
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             try:
-                self.queue.fail(job.id, f"{type(exc).__name__}: {exc}")
+                self.queue.fail(job.id, f"{type(exc).__name__}: {exc}", **fence)
+            except StaleLeaseError:
+                with self._lost_lock:
+                    self.lost_leases += 1
             except Exception:  # noqa: BLE001 - queue gone mid-shutdown
                 pass
+        finally:
+            if heartbeat_done is not None:
+                heartbeat_done.set()
 
     def __repr__(self) -> str:
         state = "started" if self._started else "stopped"

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from .backends import DictBackend, FlakyBackend, LocalFSBackend, StorageBackend, StorageStat
 from .channels import STORE_FORMAT_VERSION, ChannelTableHandle, ChannelTableMixin
 from .core import NAMESPACES, StoreCore, StoreNamespace, default_store_root
 from .groups import GROUP_FORMAT_VERSION, GroupMixin
@@ -55,6 +56,11 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "GROUP_FORMAT_VERSION",
     "PULSE_FORMAT_VERSION",
+    "StorageBackend",
+    "StorageStat",
+    "LocalFSBackend",
+    "DictBackend",
+    "FlakyBackend",
     "default_store_root",
     "resolve_store",
     "result_cache_enabled",
@@ -68,6 +74,9 @@ class ArtifactStore(ChannelTableMixin, GroupMixin, PulseMixin, ResultMixin, Stor
     ----------
     root : str or Path
         Directory holding the store (created on first write).
+    backend : StorageBackend, optional
+        Byte-level backend of the ``results`` namespace (default: local
+        files under ``root`` — see :mod:`repro.store.backends`).
 
     Notes
     -----

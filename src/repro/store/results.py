@@ -11,7 +11,11 @@ payload — so the result itself is content-addressable::
 
 The cached document is exactly ``ExperimentResult.to_json()`` — lossless,
 self-describing, and bit-identical on reload (see
-:mod:`repro.session.results`).  The namespace guarantees:
+:mod:`repro.session.results`).  Payload bytes flow through the store's
+pluggable :class:`~repro.store.backends.StorageBackend` (local files by
+default), so the hot result cache can later live in shared object storage
+while every guarantee below is enforced one layer up, here.  The
+namespace guarantees:
 
 * **exactly-once publication** — writers of one key pair serialize on an
   advisory lock and skip (counted in ``write_skips``) when a racing
@@ -42,7 +46,6 @@ import os
 import time
 from pathlib import Path
 
-from .core import atomic_write_text
 from ..utils.locks import FileLock
 
 __all__ = ["ResultMixin", "result_cache_enabled"]
@@ -83,8 +86,24 @@ class ResultMixin:
         return self.namespace_dir("results")
 
     def result_path(self, cache_fingerprint: str, properties_fingerprint: str) -> Path:
-        """On-disk location of one cached result."""
+        """On-disk location of one cached result (local-FS backend layout).
+
+        With the default :class:`~repro.store.backends.LocalFSBackend`
+        this is the file the entry physically lives in; with a non-FS
+        backend it is the *nominal* path (tooling and messages still name
+        entries by it, but the bytes live behind :attr:`backend`).
+        """
         return self._results_dir() / cache_fingerprint / f"{properties_fingerprint}.json"
+
+    def result_storage_key(
+        self, cache_fingerprint: str, properties_fingerprint: str
+    ) -> str:
+        """The backend storage key of one cached result.
+
+        Content-addressed and prefix-sharded by construction:
+        ``results/<spec cache fingerprint>/<properties fingerprint>.json``.
+        """
+        return f"results/{cache_fingerprint}/{properties_fingerprint}.json"
 
     # ------------------------------------------------------------------ #
     # in-flight execution coordination
@@ -144,11 +163,10 @@ class ResultMixin:
         corruption, falls back to a cold run that builds its own
         preparation, and the re-publication repairs the entry.
         """
-        path = self.result_path(cache_fingerprint, properties_fingerprint)
+        key = self.result_storage_key(cache_fingerprint, properties_fingerprint)
         try:
-            with open(path, "rb") as fh:
-                head = fh.read(512)
-        except OSError:
+            head = self.backend.read_bytes(key, size=512)
+        except (KeyError, OSError):
             return False
         return head.lstrip().startswith(b"{") and b'"format"' in head
 
@@ -162,10 +180,10 @@ class ResultMixin:
         where acting on a half-valid entry would be wrong and where the
         miss/corrupt counters must stay untouched.
         """
-        path = self.result_path(cache_fingerprint, properties_fingerprint)
+        key = self.result_storage_key(cache_fingerprint, properties_fingerprint)
         try:
-            document = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            document = json.loads(self.backend.read_bytes(key).decode("utf-8"))
+        except (KeyError, OSError, UnicodeDecodeError, json.JSONDecodeError):
             return False
         return isinstance(document, dict) and "format" in document
 
@@ -185,20 +203,25 @@ class ResultMixin:
         from ..session.results import ExperimentResult
         from ..utils.validation import ValidationError
 
-        path = self.result_path(cache_fingerprint, properties_fingerprint)
-        if not path.exists():
+        key = self.result_storage_key(cache_fingerprint, properties_fingerprint)
+        try:
+            text = self.backend.read_bytes(key).decode("utf-8")
+        except KeyError:
             self._bump("results", "misses")
             return None
-        try:
-            result = ExperimentResult.from_json(path.read_text())
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, ValidationError):
+        except (OSError, UnicodeDecodeError):
+            # present but unreadable — a storage fault or mangled bytes;
+            # fail open as a corrupt miss so the caller re-runs
             self._bump("results", "corrupt")
             self._bump("results", "misses")
             return None
         try:
-            os.utime(path)  # refresh LRU recency (see _prune_results)
-        except OSError:
-            pass
+            result = ExperimentResult.from_json(text)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, ValidationError):
+            self._bump("results", "corrupt")
+            self._bump("results", "misses")
+            return None
+        self.backend.touch(key)  # refresh LRU recency (see _prune_results)
         self._bump("results", "hits")
         return result
 
@@ -208,10 +231,12 @@ class ResultMixin:
         """Publish one result exactly once; returns True when written.
 
         Racing sessions executing the same spec serialize on the key's
-        advisory lock: the first writer publishes atomically, later ones
-        observe the valid entry and skip (``write_skips``) — the write
-        counters are how tests prove exactly-once publication.  A writer
-        that finds a *corrupt* entry under the lock replaces it.
+        advisory lock: the first writer publishes atomically (through the
+        store's byte backend), later ones observe the valid entry and skip
+        (``write_skips``) — the write counters are how tests prove
+        exactly-once publication.  A writer that finds a *corrupt* entry
+        under the lock replaces it.  A storage fault (:class:`OSError`)
+        propagates: publication must fail loudly, never half-succeed.
         """
         text = result.to_json()
         key = f"{cache_fingerprint}/{properties_fingerprint}"
@@ -219,9 +244,8 @@ class ResultMixin:
             if self.has_valid_result(cache_fingerprint, properties_fingerprint):
                 self._bump("results", "write_skips")
                 return False
-            path = self.result_path(cache_fingerprint, properties_fingerprint)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            atomic_write_text(path, text + "\n")
+            storage_key = self.result_storage_key(cache_fingerprint, properties_fingerprint)
+            self.backend.write_bytes(storage_key, (text + "\n").encode("utf-8"))
             self._bump("results", "writes")
         return True
 
@@ -247,13 +271,12 @@ class ResultMixin:
         """
         path = self.result_path(cache_fingerprint, properties_fingerprint)
         key = f"{cache_fingerprint}/{properties_fingerprint}"
+        storage_key = self.result_storage_key(cache_fingerprint, properties_fingerprint)
         with self._lock(self._entry_lock_name("results", key)):
-            if not path.exists():
+            if not self.backend.rename(storage_key, storage_key + ".quarantined"):
                 return None
-            destination = path.with_name(path.name + ".quarantined")
-            os.replace(path, destination)
             self._bump("results", "quarantined")
-        return destination
+        return path.with_name(path.name + ".quarantined")
 
     # ------------------------------------------------------------------ #
     # garbage collection (size/age-bounded LRU eviction)
@@ -294,50 +317,47 @@ class ResultMixin:
         """
         if max_bytes is None and max_age is None:
             return 0
-        directory = self._results_dir()
-        if not directory.exists():
-            return 0
-        namespace = self.namespace("results")
-        entries: list[tuple[float, int, Path, str]] = []
-        for path in directory.glob(namespace.entry_glob):
-            try:
-                stat = path.stat()
-            except OSError:
+        try:
+            storage_keys = self.backend.list_keys("results/")
+        except OSError:
+            return 0  # storage hiccup: skip this sweep, the next retries
+        entries: list[tuple[float, int, str]] = []
+        for storage_key in storage_keys:
+            if not storage_key.endswith(".json"):
+                continue  # quarantined evidence and tmp litter are not entries
+            entry_key = storage_key[len("results/"):-len(".json")]
+            if "/" not in entry_key:
                 continue
-            entries.append(
-                (stat.st_mtime, stat.st_size, path, self._entry_key(namespace, path))
-            )
+            stat = self.backend.stat(storage_key)
+            if stat is None:
+                continue
+            entries.append((stat.mtime, stat.size, entry_key))
         entries.sort()  # least-recently-used first
         now = time.time()
-        total = sum(size for _, size, _, _ in entries)
+        total = sum(size for _, size, _ in entries)
         evicted = 0
-        for mtime, size, path, key in entries:
+        for mtime, size, entry_key in entries:
             expired = max_age is not None and (now - mtime) > max_age
             oversize = max_bytes is not None and total > max_bytes
             if not (expired or oversize):
                 # LRU order: every later entry is younger (not expired
                 # either) and the size bound already holds — done.
                 break
-            if self._evict_result(path, key, snapshot_mtime=mtime, lock_timeout=lock_timeout):
+            if self._evict_result(entry_key, snapshot_mtime=mtime, lock_timeout=lock_timeout):
                 total -= size
                 evicted += 1
-        for subdir in directory.glob("*"):
-            if subdir.is_dir() and not any(subdir.iterdir()):
-                try:
-                    subdir.rmdir()
-                except OSError:
-                    pass
+        self.backend.sweep_empty("results")
         return evicted
 
     def _evict_result(
         self,
-        path: Path,
         key: str,
         snapshot_mtime: float | None = None,
         lock_timeout: float = 1.0,
     ) -> bool:
         """Evict one entry unless it is in flight, being written, or hot.
 
+        ``key`` is the entry key (``<spec fp>/<properties fp>``).
         ``snapshot_mtime`` is the recency the sweep *decided* on; the
         entry is re-stat'ed under the writer lock and spared when a cache
         hit refreshed it in the meantime (the sweep scan and the eviction
@@ -347,17 +367,18 @@ class ResultMixin:
         spec, _, props = key.partition("/")
         if self.result_inflight(spec, props):
             return False
+        storage_key = self.result_storage_key(spec, props)
         writer = self._lock(self._entry_lock_name("results", key))
         try:
             with writer.acquired(timeout=lock_timeout):
-                try:
-                    current_mtime = path.stat().st_mtime
-                except OSError:
+                stat = self.backend.stat(storage_key)
+                if stat is None:
                     return False  # already gone
-                if snapshot_mtime is not None and current_mtime > snapshot_mtime:
+                if snapshot_mtime is not None and stat.mtime > snapshot_mtime:
                     return False  # touched since the sweep decided: hot
-                path.unlink(missing_ok=True)
-        except TimeoutError:
+                if not self.backend.delete(storage_key):
+                    return False
+        except (TimeoutError, OSError):
             return False
         self._bump("results", "evictions")
         return True

@@ -1,0 +1,6 @@
+"""Test harnesses shared by the suite (not collected as tests).
+
+Currently one member: :mod:`tests.harness.cluster`, the multi-daemon
+crash/fault-injection harness the scale-out tests and the CI
+``cluster-smoke`` job drive.
+"""

@@ -1,0 +1,37 @@
+"""The multi-daemon cluster harness, as the test suite imports it.
+
+The implementation lives in :mod:`repro.service.cluster` (so the CI
+``cluster-smoke`` job can run it as ``python -m repro.service.cluster``
+without touching the test tree); this module re-exports it under the
+test-suite path the scale-out tests use, plus a couple of pytest-side
+conveniences.
+
+Everything here is POSIX-only (SIGSTOP/SIGKILL fault injection) — use
+:data:`posix_only` to mark tests built on it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service.cluster import (
+    DaemonProcess,
+    ServiceCluster,
+    _wait_for as wait_for,
+    run_cluster_smoke,
+)
+
+__all__ = [
+    "DaemonProcess",
+    "ServiceCluster",
+    "run_cluster_smoke",
+    "wait_for",
+    "posix_only",
+]
+
+#: Skip marker for tests needing POSIX signal-level fault injection.
+posix_only = pytest.mark.skipif(
+    os.name == "nt", reason="cluster harness needs SIGSTOP/SIGKILL (POSIX)"
+)

@@ -11,6 +11,7 @@ the store's write counters).
 import json
 import multiprocessing
 import sys
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +23,15 @@ fork_only = pytest.mark.skipif(
     sys.platform.startswith("win") or "fork" not in multiprocessing.get_all_start_methods(),
     reason="fork start method unavailable",
 )
+
+#: Start methods to stress the lock under — fork children inherit open
+#: descriptors (the subtle case for flock), spawn children re-open
+#: everything from scratch (the portable case).
+_STRESS_START_METHODS = [
+    method
+    for method in ("fork", "spawn")
+    if method in multiprocessing.get_all_start_methods()
+]
 
 
 class TestFileLock:
@@ -105,6 +115,29 @@ class TestFileLock:
         finally:
             holder.release()
 
+    def test_timed_acquire_fails_promptly_under_contention(self, tmp_path):
+        """``acquire(timeout=)`` overshoots by at most the poll interval.
+
+        Regression guard: the timed path polls non-blockingly, so a held
+        lock must produce :class:`TimeoutError` very close to the deadline
+        — not after some multiple of it (e.g. a blocking flock sneaking
+        back in, or a sleep longer than the remaining budget).
+        """
+        path = tmp_path / "a.lock"
+        holder = FileLock(path).acquire()
+        try:
+            contender = FileLock(path)
+            start = time.monotonic()
+            with pytest.raises(TimeoutError):
+                contender.acquire(timeout=0.3)
+            elapsed = time.monotonic() - start
+            assert not contender.held
+            # generous upper bound (scheduler noise), but far below 2x
+            # the timeout plus slop — catches any non-prompt regression
+            assert elapsed < 0.3 + 10 * FileLock._POLL_INTERVAL
+        finally:
+            holder.release()
+
 
 def _locked_increment_worker(path, lock_path, iterations):
     """Read-modify-write a counter file under the lock (racy without it)."""
@@ -133,6 +166,43 @@ class TestCrossProcessExclusion:
             assert worker.exitcode == 0
         # without mutual exclusion the read-modify-write loses updates
         assert int(counter.read_text()) == 2 * iterations
+
+
+def _stress_round_worker(counter_path, lock_path, rounds):
+    """Hammer one shared counter: ``rounds`` timed acquire/release cycles.
+
+    Each round is a full lock lifecycle (fresh instance, timed acquire,
+    read-modify-write, release) so the stress covers acquisition churn,
+    not just one long hold.  Lost updates mean broken mutual exclusion.
+    """
+    for _ in range(rounds):
+        with FileLock(lock_path).acquired(timeout=120.0):
+            value = int(counter_path.read_text())
+            counter_path.write_text(str(value + 1))
+
+
+@pytest.mark.parametrize("start_method", _STRESS_START_METHODS)
+class TestFileLockStress:
+    """N processes x M acquire/release rounds, under fork AND spawn."""
+
+    def test_no_lost_updates_under_churn(self, tmp_path, start_method):
+        counter = tmp_path / "counter.txt"
+        counter.write_text("0")
+        lock_path = tmp_path / "counter.lock"
+        ctx = multiprocessing.get_context(start_method)
+        n_processes, rounds = 4, 12
+        workers = [
+            ctx.Process(
+                target=_stress_round_worker, args=(counter, lock_path, rounds)
+            )
+            for _ in range(n_processes)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        assert int(counter.read_text()) == n_processes * rounds
 
 
 def _store_writer_worker(root, key, start, stop):

@@ -130,6 +130,85 @@ class TestJobQueue:
         assert queue.get("nope") is None
         queue.close()
 
+    @pytest.mark.parametrize("wal_bytes", [b"", b"not a wal journal" * 32],
+                             ids=["zero-byte", "corrupted"])
+    def test_recover_survives_damaged_wal_sibling(self, tmp_path, wal_bytes):
+        """A truncated/garbage ``-wal`` sibling never loses committed jobs.
+
+        A crash can leave the WAL journal in any state; every committed
+        transition lives in the main database file after the close-time
+        checkpoint, so reopen + recover must work regardless of what is
+        sitting in the sibling.
+        """
+        path = tmp_path / "queue.sqlite3"
+        crashed = JobQueue(path)
+        queued_id = crashed.submit({"kind": "rb", "seed": 1})
+        running_id = crashed.submit({"kind": "rb", "seed": 2})
+        assert crashed.claim(owner_id="dead", lease_s=0.01).id == queued_id
+        time.sleep(0.05)
+        crashed.close()
+
+        (path.parent / (path.name + "-wal")).write_bytes(wal_bytes)
+        rebooted = JobQueue(path)
+        assert rebooted.recover() == 1
+        assert rebooted.get(queued_id).status == "queued"
+        assert rebooted.get(running_id).status == "queued"
+        assert rebooted.claim().id == queued_id  # FIFO order preserved
+        rebooted.close()
+
+    def test_duplicate_claim_race_has_exactly_one_winner(self, tmp_path):
+        """Two connections racing on one queued job: one Job, one miss.
+
+        Two :class:`JobQueue` instances on the same file model two daemon
+        processes; the conditional-``UPDATE`` claim must hand the single
+        job to exactly one of them.
+        """
+        path = tmp_path / "queue.sqlite3"
+        left, right = JobQueue(path), JobQueue(path)
+        job_id = left.submit({"kind": "rb", "seed": 1})
+
+        barrier = threading.Barrier(2)
+        outcomes = [None, None]
+
+        def _race(slot, queue):
+            barrier.wait()
+            outcomes[slot] = queue.claim(owner_id=f"daemon-{slot}", lease_s=30.0)
+
+        threads = [
+            threading.Thread(target=_race, args=(slot, queue))
+            for slot, queue in enumerate((left, right))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        winners = [job for job in outcomes if job is not None]
+        assert len(winners) == 1
+        assert winners[0].id == job_id and winners[0].attempts == 1
+        assert winners[0].lease_generation == 1
+        left.close(), right.close()
+
+    def test_non_utf8_error_text_is_sanitized(self, tmp_path):
+        """Failed-job errors with undecodable bytes stay JSON-serializable.
+
+        ``repr`` of binary data surfaces as lone surrogate escapes; stored
+        verbatim they would blow up ``json.dumps`` on every later
+        ``to_public_dict`` — the queue coerces them at ``fail`` time.
+        """
+        queue = JobQueue(tmp_path / "queue.sqlite3")
+        job_id = queue.submit({"kind": "rb", "seed": 1})
+        queue.claim()
+        dirty = "solver exploded on " + b"\xff\xfe raw".decode("utf-8", "surrogateescape")
+        queue.fail(job_id, dirty)
+        job = queue.get(job_id)
+        assert job.status == "failed"
+        assert "solver exploded on" in job.error
+        # round trip through the API surface: encodable and serializable
+        job.error.encode("utf-8")
+        document = json.loads(json.dumps(job.to_public_dict()))
+        assert document["error"] == job.error
+        queue.close()
+
 
 class TestServiceRoundTrip:
     def test_submit_poll_bit_identical_to_direct_session(self, tmp_path, store):
@@ -183,19 +262,25 @@ class TestServiceRoundTrip:
         with pytest.raises(ValidationError):
             ExperimentService(ServiceConfig(store=None))
 
-    def test_second_daemon_on_same_queue_is_rejected(self, tmp_path, store):
-        """The queue is single-daemon: a rival boot must fail fast, not
-        re-queue the live daemon's running jobs."""
-        with _service(tmp_path, store, workers=0) as service:
-            rival = _service(tmp_path, ArtifactStore(store.root), workers=0)
-            with pytest.raises(ValidationError, match="owned by a running daemon"):
-                rival.start()
-            rival.queue.close()
-            assert ServiceClient(service.url).health()["status"] == "ok"
-        # ownership is released with the daemon: a successor may start
-        successor = _service(tmp_path, ArtifactStore(store.root), workers=0)
-        successor.start()
-        successor.stop()
+    def test_second_daemon_on_same_queue_is_supported(self, tmp_path, store):
+        """Scale-out: an accept-only daemon and a worker daemon share one
+        queue — a job submitted to the first completes on the second."""
+        spec = RBSpec(**FAST_RB)
+        with _service(tmp_path, store, workers=0) as frontend:
+            with _service(tmp_path, ArtifactStore(store.root), workers=1) as backend:
+                client = ServiceClient(frontend.url)
+                job_id = client.submit(spec)
+                result = client.result(job_id, timeout=120.0)
+                assert result.kind == "rb"
+                # the worker daemon's lease identity is on the record
+                done = backend.queue.get(job_id)
+                assert done.status == "done"
+                assert done.attempts == 1 and done.lease_generation == 1
+                health = ServiceClient(backend.url).health()
+                assert health["lease"]["owner_id"] == backend.owner_id
+                assert health["sessions"]["executions"] == 1
+                # the publication landed on the worker daemon's store
+                assert backend.store.namespace_stats("results")["writes"] == 1
 
 
 class TestRestartResume:
@@ -408,10 +493,10 @@ class TestResultRetention:
         snapshot = path.stat().st_mtime
         os.utime(path)  # a cache hit lands between the scan and the eviction
         key = "/".join(keys)
-        assert store._evict_result(path, key, snapshot_mtime=snapshot) is False
+        assert store._evict_result(key, snapshot_mtime=snapshot) is False
         assert store.has_result(*keys)
         # with an up-to-date snapshot the (genuinely cold) entry goes
-        assert store._evict_result(path, key, snapshot_mtime=path.stat().st_mtime) is True
+        assert store._evict_result(key, snapshot_mtime=path.stat().st_mtime) is True
         assert not store.has_result(*keys)
 
     def test_default_prune_leaves_results_untouched(self, store):
