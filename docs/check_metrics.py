@@ -51,6 +51,9 @@ REQUIRED_SERIES = (
     "repro_jobs_reclaimed_total",
     "repro_lease_expirations_total",
     "repro_uptime_seconds",
+    "repro_jobs_submitted_total",
+    "repro_tenant_quota_rejections_total",
+    "repro_tenant_queue_depth",
 )
 
 _METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"

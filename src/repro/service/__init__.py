@@ -23,8 +23,13 @@ Pieces:
   (``POST/GET /v1/experiments``, ``GET /v1/store/stats``, ``/healthz``),
 * :mod:`~repro.service.daemon` — :class:`ExperimentService` +
   :class:`ServiceConfig`, composing the above with a background GC sweep,
+* :mod:`~repro.service.tenancy` — the multi-tenant control plane:
+  bearer-token auth (:class:`TokenRegistry`), per-tenant admission
+  control/quotas (:class:`AdmissionController`), and the tenant records
+  the queue's weighted-fair scheduler runs on,
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the thin
-  ``urllib`` client returning first-class ``ExperimentResult`` objects,
+  ``urllib`` client returning first-class ``ExperimentResult`` objects
+  (bearer-token aware, with bounded transient-failure retry),
 * :mod:`~repro.service.smoke` — the self-contained end-to-end check CI
   boots (``python -m repro.service.smoke``),
 * :mod:`~repro.service.cluster` — the multi-daemon subprocess harness
@@ -38,6 +43,13 @@ for the API reference and ``docs/operations.md`` for deployment).
 from .client import JobFailedError, ServiceClient, ServiceError
 from .daemon import ExperimentService, ServiceConfig
 from .queue import JOB_STATUSES, Job, JobQueue, StaleLeaseError
+from .tenancy import (
+    AdmissionController,
+    AuthError,
+    QuotaExceeded,
+    Tenant,
+    TokenRegistry,
+)
 from .workers import WorkerPool
 
 __all__ = [
@@ -51,4 +63,9 @@ __all__ = [
     "JOB_STATUSES",
     "StaleLeaseError",
     "WorkerPool",
+    "AdmissionController",
+    "AuthError",
+    "QuotaExceeded",
+    "Tenant",
+    "TokenRegistry",
 ]

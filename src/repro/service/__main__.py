@@ -7,7 +7,7 @@ Usage::
         [--gc-interval SECONDS] [--results-max-bytes N]
         [--results-max-age SECONDS] [--shadow-rate RATE]
         [--trace-file PATH] [--lease SECONDS] [--heartbeat SECONDS]
-        [--owner-id ID] [--poll SECONDS]
+        [--owner-id ID] [--poll SECONDS] [--tokens PATH] [--no-auth]
 
 Without ``--root`` the daemon uses the default store location (the same
 ``store="auto"`` resolution as everywhere else: ``$REPRO_STORE_DIR``, else
@@ -72,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
                         help="idle-worker queue poll — the discovery latency for "
                              "jobs submitted through a peer daemon (default: 0.5)")
+    parser.add_argument("--tokens", default=None, metavar="PATH",
+                        help="tokens.json registry enabling bearer-token auth on "
+                             "/v1/* (default: $REPRO_API_TOKENS when set, else open)")
+    parser.add_argument("--no-auth", action="store_true",
+                        help="force open (unauthenticated) mode even when "
+                             "$REPRO_API_TOKENS is set")
     return parser
 
 
@@ -94,6 +100,8 @@ def main(argv=None) -> int:
         lease_s=args.lease,
         heartbeat_s=args.heartbeat,
         poll_s=args.poll,
+        tokens=args.tokens,
+        no_auth=args.no_auth,
     )
     service = ExperimentService(config)
 
@@ -109,7 +117,12 @@ def main(argv=None) -> int:
     print(f"  queue: {service.queue.path} ({service.recovered_jobs} job(s) recovered)")
     print(f"  workers: {service.pool.workers}")
     lease = f"{service.lease_s}s" if service.lease_s is not None else "off"
-    print(f"  lease: {lease} (owner {service.owner_id})", flush=True)
+    print(f"  lease: {lease} (owner {service.owner_id})")
+    auth = (
+        f"on ({len(service.token_registry)} tenant(s))"
+        if service.token_registry is not None else "off"
+    )
+    print(f"  auth: {auth}", flush=True)
     service.serve_forever()
     print("repro.service stopped")
     return 0

@@ -16,11 +16,20 @@ round trip is symmetric with the in-process one::
 Because the daemon executes through ordinary sessions over the shared
 store, a submitted spec's payload is **bit-identical** to running it
 locally through ``Session.run_all`` — asserted by ``tests/test_service.py``.
+
+The client is **retry-aware**: transient transport failures (connection
+refused/reset during a daemon restart window) and 429 quota rejections
+are retried with bounded exponential backoff — full jitter for transport
+errors, the server's ``Retry-After`` hint for 429s.  Anything
+non-transient (400/401/403/404/413, a failed job) surfaces immediately.
+Retried submissions are safe to replay: results are content-addressed,
+so a duplicate landing twice deduplicates server-side.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -62,11 +71,38 @@ class ServiceClient:
         required).
     timeout : float
         Per-request socket timeout in seconds.
+    token : str, optional
+        Bearer token sent as ``Authorization: Bearer <token>`` on every
+        request (required against auth-enabled daemons; ignored by open
+        ones).
+    max_retries : int
+        Bounded retry budget for *transient* failures — unreachable
+        daemon (restart window) and 429 quota rejections.  0 disables
+        retrying; other HTTP errors never retry.
+    backoff_s : float
+        Base of the exponential transport backoff: attempt ``n`` sleeps
+        ``uniform(0, backoff_s * 2**n)`` (full jitter, capped at
+        ``backoff_cap_s``).  429s sleep the server's ``Retry-After``
+        instead.
+    backoff_cap_s : float
+        Upper bound on any single backoff sleep.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        token: str | None = None,
+        max_retries: int = 3,
+        backoff_s: float = 0.2,
+        backoff_cap_s: float = 5.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.token = token
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
 
     def __repr__(self) -> str:
         return f"ServiceClient({self.base_url!r})"
@@ -74,10 +110,15 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _headers(self, headers: dict) -> dict:
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _request_once(self, method: str, path: str, payload: dict | None = None) -> dict:
         """One JSON round trip; raises :class:`ServiceError` on failure."""
         body = None
-        headers = {"Accept": "application/json"}
+        headers = self._headers({"Accept": "application/json"})
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -93,11 +134,46 @@ class ServiceClient:
             except json.JSONDecodeError:
                 document = {}
             message = document.get("error", f"HTTP {exc.code} on {method} {path}")
-            raise ServiceError(message, status=exc.code, payload=document) from exc
+            error = ServiceError(message, status=exc.code, payload=document)
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            if retry_after is not None:
+                try:
+                    error.retry_after_s = float(retry_after)
+                except ValueError:
+                    pass
+            raise error from exc
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"service unreachable at {self.base_url}: {exc.reason}"
             ) from exc
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """:meth:`_request_once` plus the bounded transient-retry loop.
+
+        Retryable: status 0 (transport — daemon restarting, connection
+        refused/reset) with full-jitter exponential backoff, and 429
+        (quota) honoring the server's ``Retry-After``.  Every other
+        failure propagates on the first attempt.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                transient = exc.status == 0 or exc.status == 429
+                if not transient or attempt >= self.max_retries:
+                    raise
+                if exc.status == 429:
+                    body_hint = exc.payload.get("retry_after_s")
+                    delay = getattr(exc, "retry_after_s", None)
+                    if delay is None and body_hint is not None:
+                        delay = float(body_hint)
+                    if delay is None:
+                        delay = self.backoff_s * (2 ** attempt)
+                else:
+                    delay = random.uniform(0.0, self.backoff_s * (2 ** attempt))
+                time.sleep(min(max(0.0, delay), self.backoff_cap_s))
+                attempt += 1
 
     # ------------------------------------------------------------------ #
     # API surface
@@ -117,7 +193,8 @@ class ServiceClient:
         as-is, ready for a scraper or ``docs/check_metrics.py``.
         """
         request = urllib.request.Request(
-            self.base_url + "/v1/metrics", headers={"Accept": "text/plain"}
+            self.base_url + "/v1/metrics",
+            headers=self._headers({"Accept": "text/plain"}),
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -144,6 +221,10 @@ class ServiceClient:
         """Recent job documents, newest first (results omitted)."""
         query = f"?limit={int(limit)}" + (f"&status={status}" if status else "")
         return self._request("GET", f"/v1/experiments{query}")["jobs"]
+
+    def tenants(self) -> dict:
+        """The daemon's ``/v1/tenants`` document (configs + accounting)."""
+        return self._request("GET", "/v1/tenants")
 
     def result(
         self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2

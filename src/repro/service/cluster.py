@@ -73,6 +73,11 @@ class DaemonProcess:
     owner_id : str, optional
         Explicit lease identity (``--owner-id``); defaults to the
         daemon's own unique identity.
+    tokens : str or Path, optional
+        A ``tokens.json`` registry enabling bearer-token auth on this
+        daemon (``--tokens``).  Without it the daemon is started with
+        ``--no-auth``, so a ``REPRO_API_TOKENS`` leaking in from the
+        harness environment can never flip auth on under a test.
     env : dict, optional
         Extra environment variables for this daemon only — e.g.
         ``{"REPRO_FAULT_EXECUTE_DELAY_S": "4"}`` to park its jobs
@@ -90,6 +95,7 @@ class DaemonProcess:
         heartbeat_s: float | None = None,
         poll_s: float | None = None,
         owner_id: str | None = None,
+        tokens: str | Path | None = None,
         env: dict[str, str] | None = None,
         boot_timeout_s: float = 120.0,
     ):
@@ -100,6 +106,7 @@ class DaemonProcess:
         self.heartbeat_s = heartbeat_s
         self.poll_s = poll_s
         self.owner_id = owner_id
+        self.tokens = tokens
         self.extra_env = dict(env or {})
         self.boot_timeout_s = float(boot_timeout_s)
         self.url: str | None = None
@@ -130,6 +137,10 @@ class DaemonProcess:
             command += ["--poll", str(self.poll_s)]
         if self.owner_id is not None:
             command += ["--owner-id", self.owner_id]
+        if self.tokens is not None:
+            command += ["--tokens", str(self.tokens)]
+        else:
+            command += ["--no-auth"]
         env = dict(os.environ)
         env["PYTHONPATH"] = _repro_pythonpath()
         env["PYTHONUNBUFFERED"] = "1"
@@ -203,11 +214,11 @@ class DaemonProcess:
         """Whether the subprocess is currently running (paused counts)."""
         return self.process is not None and self.process.poll() is None
 
-    def client(self) -> ServiceClient:
+    def client(self, token: str | None = None) -> ServiceClient:
         """A :class:`ServiceClient` bound to this daemon's address."""
         if self.url is None:
             raise RuntimeError("daemon has no address yet; call start() first")
-        return ServiceClient(self.url)
+        return ServiceClient(self.url, token=token)
 
     def output(self) -> str:
         """The daemon's captured stdout/stderr so far (ring-buffered)."""
@@ -243,6 +254,9 @@ class ServiceCluster:
         lease so takeover happens in test time).
     poll_s : float, optional
         Idle-worker queue poll shared by every daemon (``--poll``).
+    tokens : str or Path, optional
+        A ``tokens.json`` registry shared by every daemon (``--tokens``);
+        daemons run ``--no-auth`` without it.
     daemon_env : list of dict, optional
         Per-daemon extra environment (index-aligned; shorter lists leave
         the remaining daemons unmodified) — the fault-injection surface.
@@ -265,6 +279,7 @@ class ServiceCluster:
         lease_s: float = 30.0,
         heartbeat_s: float | None = None,
         poll_s: float | None = None,
+        tokens: str | Path | None = None,
         daemon_env: list[dict[str, str]] | None = None,
         boot_timeout_s: float = 120.0,
     ):
@@ -284,6 +299,7 @@ class ServiceCluster:
                     heartbeat_s=heartbeat_s,
                     poll_s=poll_s,
                     owner_id=f"daemon-{index}",
+                    tokens=tokens,
                     env=env,
                     boot_timeout_s=boot_timeout_s,
                 )
@@ -295,9 +311,9 @@ class ServiceCluster:
             daemon.start()
         return self
 
-    def client(self, index: int = 0) -> ServiceClient:
+    def client(self, index: int = 0, token: str | None = None) -> ServiceClient:
         """A client bound to daemon ``index``."""
-        return self.daemons[index].client()
+        return self.daemons[index].client(token=token)
 
     def close(self) -> None:
         """Tear every daemon down (alive or not)."""

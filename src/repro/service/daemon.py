@@ -37,6 +37,13 @@ from pathlib import Path
 
 from .http import make_server
 from .queue import JobQueue
+from .tenancy import (
+    ANONYMOUS_TENANT,
+    AdmissionController,
+    DEFAULT_PRIORITY,
+    QuotaExceeded,
+    resolve_token_registry,
+)
 from .workers import WorkerPool
 from ..obs import MetricsRegistry, SpanTimingSink, resolve_trace_sink
 from ..store import resolve_store
@@ -95,6 +102,15 @@ class ServiceConfig:
         workers instantly; this is the discovery latency for jobs
         submitted *through a peer daemon* on the same queue — tighten it
         in latency-sensitive multi-daemon deployments.
+    tokens : object, optional
+        Token-registry source (``--tokens``): a ``tokens.json`` path, a
+        registry document dict, or a
+        :class:`~repro.service.tenancy.TokenRegistry`.  ``None`` falls
+        back to ``$REPRO_API_TOKENS`` when set, else the daemon runs
+        open (unauthenticated, anonymous tenant).
+    no_auth : bool
+        Force open mode (``--no-auth``) even when ``$REPRO_API_TOKENS``
+        is set — the legacy escape hatch smoke/cluster harnesses use.
     """
 
     host: str = "127.0.0.1"
@@ -112,6 +128,8 @@ class ServiceConfig:
     lease_s: float = 30.0
     heartbeat_s: float | None = None
     poll_s: float = 0.5
+    tokens: object = None
+    no_auth: bool = False
 
 
 class ExperimentService:
@@ -154,6 +172,29 @@ class ExperimentService:
         #: at scrape time by :meth:`metrics_text` (``GET /v1/metrics``).
         self.metrics = MetricsRegistry()
         self.queue = JobQueue(queue_path, metrics=self.metrics)
+        #: Bearer-token → tenant registry; None runs the API open
+        #: (legacy ``--no-auth`` mode, submissions land as anonymous).
+        self.token_registry = resolve_token_registry(
+            False if config.no_auth else config.tokens
+        )
+        #: Per-tenant admission control (quota + rate checks at submit).
+        self.admission = AdmissionController()
+        self._quota_rejections = self.metrics.counter(
+            "repro_tenant_quota_rejections_total",
+            "Submissions rejected by per-tenant admission control (429s).",
+        )
+        self._tenant_depth = self.metrics.gauge(
+            "repro_tenant_queue_depth",
+            "Queued jobs per tenant (refreshed at scrape time).",
+        )
+        # pre-seed the per-tenant families so a fresh daemon's exposition
+        # carries them before any traffic (CI's check_metrics contract)
+        self._quota_rejections.labels(tenant=ANONYMOUS_TENANT)
+        self._tenant_depth.labels(tenant=ANONYMOUS_TENANT).set(0)
+        if self.token_registry is not None:
+            for tenant_id in self.token_registry.tenants:
+                self._quota_rejections.labels(tenant=tenant_id)
+                self._tenant_depth.labels(tenant=tenant_id).set(0)
         #: This daemon's lease identity: unique per process by default,
         #: which is exactly what the fencing protocol requires.
         self.owner_id = config.owner_id or (
@@ -310,6 +351,12 @@ class ExperimentService:
                 "lost_leases": self.pool.lost_leases,
                 **self.queue.lease_stats(),
             },
+            "auth": {
+                "enabled": self.token_registry is not None,
+                "tenants": (
+                    len(self.token_registry) if self.token_registry is not None else 0
+                ),
+            },
             "store_root": str(self.store.root),
             "queue_path": str(self.queue.path),
             "last_gc": self.last_gc,
@@ -322,6 +369,54 @@ class ExperimentService:
             "stats": self.store.stats,
             "disk": self.store.disk_stats(),
         }
+
+    # ------------------------------------------------------------------ #
+    # tenancy (the HTTP handler calls these)
+    # ------------------------------------------------------------------ #
+    def submit_for(self, tenant, spec) -> str:
+        """Admit and enqueue one validated spec for one tenant.
+
+        ``tenant`` is None in open mode (no registry): the submission
+        runs as the anonymous tenant with no quotas.  A broken admission
+        bound raises :class:`~repro.service.tenancy.QuotaExceeded` (the
+        HTTP layer's 429), counted in the per-tenant rejection metric.
+        """
+        if tenant is None:
+            return self.queue.submit(spec.to_dict())
+        try:
+            self.admission.admit(tenant, self.queue)
+        except QuotaExceeded:
+            self._quota_rejections.labels(tenant=tenant.id).inc()
+            raise
+        return self.queue.submit(
+            spec.to_dict(),
+            tenant=tenant.id,
+            priority=tenant.priority,
+            weight=tenant.weight,
+        )
+
+    def tenants(self) -> dict:
+        """The ``GET /v1/tenants`` document: configs + usage accounting.
+
+        Configured tenants (when a registry is set) and every tenant
+        with accounting history are merged, so revoked or de-configured
+        tenants keep reporting their consumed totals.
+        """
+        accounting = self.queue.tenant_accounting()
+        depths = self.queue.tenant_queue_depths()
+        tenants: dict[str, dict] = {}
+        if self.token_registry is not None:
+            for tenant_id, tenant in self.token_registry.tenants.items():
+                tenants[tenant_id] = {"config": tenant.to_public_dict()}
+        for tenant_id in set(accounting) | set(depths):
+            tenants.setdefault(tenant_id, {})
+        for tenant_id, entry in tenants.items():
+            entry["accounting"] = accounting.get(
+                tenant_id,
+                {"submitted": 0, "completed": 0, "failed": 0, "execute_seconds": 0.0},
+            )
+            entry["queued"] = depths.get(tenant_id, 0)
+        return {"auth_enabled": self.token_registry is not None, "tenants": tenants}
 
     def metrics_text(self) -> str:
         """The ``/v1/metrics`` document (Prometheus text exposition).
@@ -341,6 +436,8 @@ class ExperimentService:
         )
         for status, count in self.queue.counts().items():
             jobs.labels(status=status).set(count)
+        for tenant, depth in self.queue.tenant_queue_depths().items():
+            self._tenant_depth.labels(tenant=tenant).set(depth)
 
         sessions = self.pool.aggregate_stats()
         events = metrics.counter(

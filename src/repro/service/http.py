@@ -1,6 +1,6 @@
 """The daemon's HTTP API (stdlib ``http.server``, threaded).
 
-Four endpoints, all JSON (see ``docs/service.md`` for the full reference):
+The endpoints, all JSON (see ``docs/service.md`` for the full reference):
 
 =======  ==========================  =========================================
 method   path                        semantics
@@ -11,6 +11,8 @@ GET      ``/v1/experiments/<id>``    job status/result → ``200`` (``404``
                                      for unknown ids)
 GET      ``/v1/experiments``         recent jobs (``?status=`` filter,
                                      ``?limit=``), result documents omitted
+GET      ``/v1/tenants``             tenant configurations + per-tenant
+                                     accounting (auth-enabled daemons)
 GET      ``/v1/store/stats``         shared-store counters + disk footprint
 GET      ``/v1/metrics``             Prometheus text exposition (the one
                                      non-JSON endpoint; see
@@ -22,6 +24,16 @@ GET      ``/healthz``                liveness: uptime, workers, job counts,
 Specs are validated *at submission time* by round-tripping through
 :func:`repro.session.specs.spec_from_dict` — a malformed payload is a
 ``400`` with the validation message, and never reaches the queue.
+
+**Authentication** (:mod:`repro.service.tenancy`): when the daemon has a
+token registry, every ``/v1/*`` route demands ``Authorization: Bearer``
+(401 missing/unknown token, 403 revoked tenant) — except ``/v1/metrics``,
+which stays open alongside ``/healthz`` so probes and scrapers need no
+credentials.  Without a registry (legacy/``--no-auth``) everything is
+open and submissions run as the anonymous tenant.  Submissions also pass
+the tenant's admission control: a broken quota is a ``429`` carrying a
+``Retry-After`` header and a structured body (``error`` / ``reason`` /
+``retry_after_s``).
 """
 
 from __future__ import annotations
@@ -32,11 +44,15 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..session.specs import spec_from_dict
 from ..utils.validation import ValidationError
+from .tenancy import AuthError, QuotaExceeded, Tenant
 
 __all__ = ["ServiceRequestHandler", "make_server"]
 
 #: Request bodies above this many bytes are rejected (413) before parsing.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: ``GET /v1/experiments?limit=`` is clamped to this many rows.
+MAX_LIST_LIMIT = 1000
 
 
 class _PayloadTooLarge(Exception):
@@ -59,11 +75,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         """Silence per-request stderr logging (the daemon logs lifecycle)."""
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -95,6 +113,35 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ValidationError(f"request body is not valid JSON: {exc}") from exc
 
     # ------------------------------------------------------------------ #
+    # authentication
+    # ------------------------------------------------------------------ #
+    def _authenticate(self) -> Tenant | None:
+        """The requesting tenant, or raise :class:`AuthError`.
+
+        Open mode (no registry on the daemon) returns None — the caller
+        treats that as the anonymous tenant with no quotas.  With a
+        registry, the ``Authorization: Bearer <token>`` header is
+        mandatory and must resolve to a live tenant.
+        """
+        registry = getattr(self.server.service, "token_registry", None)
+        if registry is None:
+            return None
+        header = self.headers.get("Authorization", "")
+        token = None
+        if header.startswith("Bearer "):
+            token = header[len("Bearer "):].strip() or None
+        elif header:
+            raise AuthError("Authorization header must be 'Bearer <token>'", status=401)
+        return registry.authenticate(token)
+
+    def _send_auth_error(self, exc: AuthError) -> None:
+        self._send_json(
+            exc.status,
+            {"error": str(exc)},
+            headers={"WWW-Authenticate": "Bearer"} if exc.status == 401 else None,
+        )
+
+    # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
@@ -105,22 +152,44 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if path == "/healthz":
             self._send_json(200, service.health())
             return
-        if path == "/v1/store/stats":
-            self._send_json(200, service.store_stats())
-            return
         if path == "/v1/metrics":
             self._send_text(
                 200, service.metrics_text(), "text/plain; version=0.0.4; charset=utf-8"
             )
             return
+        # every other /v1/* route is authenticated when a registry is set
+        try:
+            self._authenticate()
+        except AuthError as exc:
+            self._send_auth_error(exc)
+            return
+        if path == "/v1/store/stats":
+            self._send_json(200, service.store_stats())
+            return
+        if path == "/v1/tenants":
+            self._send_json(200, service.tenants())
+            return
         if path == "/v1/experiments":
             query = parse_qs(url.query)
+            raw_limit = (query.get("limit") or ["100"])[0]
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                self._send_json(
+                    400, {"error": f"limit must be an integer, got {raw_limit!r}"}
+                )
+                return
+            if limit < 0:
+                self._send_json(
+                    400, {"error": f"limit must be non-negative, got {limit}"}
+                )
+                return
             try:
                 jobs = service.queue.jobs(
                     status=(query.get("status") or [None])[0],
-                    limit=int((query.get("limit") or ["100"])[0]),
+                    limit=min(limit, MAX_LIST_LIMIT),
                 )
-            except (ValidationError, ValueError) as exc:
+            except ValidationError as exc:
                 self._send_json(400, {"error": str(exc)})
                 return
             self._send_json(
@@ -143,11 +212,23 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if path != "/v1/experiments":
             self._send_json(404, {"error": f"no such endpoint: {path}"})
             return
+        service = self.server.service
+        try:
+            tenant = self._authenticate()
+        except AuthError as exc:
+            self._send_auth_error(exc)
+            return
         try:
             payload = self._read_json_body()
             spec = spec_from_dict(payload)  # full validation before queueing
-        except _PayloadTooLarge as exc:
-            self._send_json(413, {"error": str(exc)})
+        except _PayloadTooLarge:
+            self._send_json(
+                413,
+                {
+                    "error": f"request body exceeds the {MAX_BODY_BYTES}-byte limit",
+                    "max_body_bytes": MAX_BODY_BYTES,
+                },
+            )
             return
         except ValidationError as exc:
             self._send_json(400, {"error": str(exc)})
@@ -155,7 +236,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - surface constructor errors as 400
             self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
             return
-        job_id = self.server.service.queue.submit(spec.to_dict())
+        try:
+            job_id = service.submit_for(tenant, spec)
+        except QuotaExceeded as exc:
+            retry_after = max(exc.retry_after_s, 0.0)
+            self._send_json(
+                429,
+                {
+                    "error": str(exc),
+                    "reason": exc.reason,
+                    "retry_after_s": retry_after,
+                },
+                headers={"Retry-After": str(max(1, int(retry_after + 0.999)))},
+            )
+            return
         self._send_json(
             201,
             {

@@ -24,8 +24,29 @@ locking.  Liveness and safety come from two mechanisms:
   of publishing over the reclaimer's result.
 
 Claims without an owner (``claim()`` with no arguments) remain plain
-FIFO with no lease — single-process embedders and tests keep the old
-semantics verbatim.
+owner-less claims with no lease — single-process embedders and tests
+keep the old semantics verbatim.
+
+**Multi-tenant scheduling** (the tenancy control plane of
+:mod:`repro.service.tenancy`): every job carries its submitting
+``(tenant, priority, weight)``, and :meth:`JobQueue.claim` picks the
+next candidate by **strict priority tier** first (``interactive`` jobs
+always drain ahead of queued ``batch`` jobs), then **stride-weighted
+round-robin across tenants** within the tier: each tenant has a
+monotonically increasing *pass* value (persisted in the
+``tenant_sched`` table, shared by all daemons), the tenant with the
+lowest pass is served next, and a claim advances the winner's pass by
+``stride = 1000 / weight`` — so a weight-2 tenant is claimed twice as
+often as a weight-1 peer while both have queued work.  Within one
+tenant, jobs stay strictly FIFO (``submitted_at`` order), which is also
+exactly the legacy single-tenant behavior.  The fair ordering only
+changes *which queued row the claim loop selects*; the atomic
+conditional-``UPDATE`` flip, lease generations and :meth:`recover`
+semantics are untouched, so N daemons still get exactly one winner.
+
+Per-tenant accounting (jobs submitted/completed/failed and
+execute-seconds consumed) is journaled in the ``tenant_accounting``
+table next to the jobs table, atomically with the lifecycle transitions.
 
 Job lifecycle::
 
@@ -46,12 +67,18 @@ import uuid
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from .tenancy.auth import ANONYMOUS_TENANT, DEFAULT_PRIORITY, PRIORITY_CLASSES
 from ..utils.validation import ValidationError
 
 __all__ = ["Job", "JobQueue", "JOB_STATUSES", "StaleLeaseError"]
 
 #: The four job lifecycle states, in progression order.
 JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Stride-scheduling scale: a claim advances its tenant's pass by
+#: ``_STRIDE_SCALE / weight``, so relative claim frequency is
+#: proportional to weight (the scale itself cancels out of the ratio).
+_STRIDE_SCALE = 1000.0
 
 #: Seconds SQLite retries a locked database before erroring — generous,
 #: because N daemons share the file and writes are all sub-millisecond.
@@ -70,14 +97,30 @@ CREATE TABLE IF NOT EXISTS jobs (
     result           TEXT,
     owner            TEXT,
     lease_expiry     REAL,
-    lease_generation INTEGER NOT NULL DEFAULT 0
+    lease_generation INTEGER NOT NULL DEFAULT 0,
+    tenant           TEXT,
+    priority         TEXT,
+    weight           REAL
 );
 CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, submitted_at);
+CREATE INDEX IF NOT EXISTS jobs_tenant ON jobs (tenant, status);
+CREATE TABLE IF NOT EXISTS tenant_accounting (
+    tenant          TEXT PRIMARY KEY,
+    submitted       INTEGER NOT NULL DEFAULT 0,
+    completed       INTEGER NOT NULL DEFAULT 0,
+    failed          INTEGER NOT NULL DEFAULT 0,
+    execute_seconds REAL NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS tenant_sched (
+    tenant     TEXT PRIMARY KEY,
+    pass_value REAL NOT NULL DEFAULT 0
+);
 """
 
 #: Columns added after the first released schema, applied by the
 #: idempotent migration in :meth:`JobQueue._connect` so a pre-lease
-#: queue file keeps working (its jobs simply carry NULL leases).
+#: (or pre-tenancy) queue file keeps working — its jobs simply carry
+#: NULL leases and NULL tenancy (treated as anonymous/batch/weight 1).
 _MIGRATIONS = (
     ("owner", "ALTER TABLE jobs ADD COLUMN owner TEXT"),
     ("lease_expiry", "ALTER TABLE jobs ADD COLUMN lease_expiry REAL"),
@@ -85,11 +128,33 @@ _MIGRATIONS = (
         "lease_generation",
         "ALTER TABLE jobs ADD COLUMN lease_generation INTEGER NOT NULL DEFAULT 0",
     ),
+    ("tenant", "ALTER TABLE jobs ADD COLUMN tenant TEXT"),
+    ("priority", "ALTER TABLE jobs ADD COLUMN priority TEXT"),
+    ("weight", "ALTER TABLE jobs ADD COLUMN weight REAL"),
 )
 
 _COLUMNS = (
     "id", "spec", "status", "submitted_at", "started_at", "finished_at",
     "attempts", "error", "result", "owner", "lease_expiry", "lease_generation",
+    "tenant", "priority", "weight",
+)
+
+#: The jobs columns qualified for joined queries (claim's fair ordering
+#: joins ``tenant_sched``, so bare column names would be ambiguous).
+_QUALIFIED_COLUMNS = ", ".join(f"jobs.{column}" for column in _COLUMNS)
+
+#: Strict priority tiers: interactive rows sort ahead of everything
+#: else; NULL/legacy priorities land in the batch tier.
+_TIER_SQL = "CASE WHEN jobs.priority = 'interactive' THEN 0 ELSE 1 END"
+
+#: The current *global virtual time*: the minimum pass among tenants
+#: that have queued work (0 when the queue is empty).  New tenants join
+#: at this value and lagging tenants are clamped up to it, so nobody
+#: accumulates unbounded credit while idle.
+_MIN_QUEUED_PASS_SQL = (
+    "SELECT MIN(COALESCE(ts.pass_value, 0.0)) FROM jobs"
+    " LEFT JOIN tenant_sched ts ON ts.tenant = COALESCE(jobs.tenant, 'anonymous')"
+    " WHERE jobs.status = 'queued'"
 )
 
 
@@ -138,6 +203,15 @@ class Job:
         Monotonic fencing token, incremented by every (re)claim and
         recovery — completion is conditional on it, so a stale owner can
         never publish over the current one.
+    tenant : str
+        The submitting tenant's id (``anonymous`` for unauthenticated
+        legacy submissions).
+    priority : str
+        Scheduling tier the job was admitted under (``interactive`` or
+        ``batch``).
+    weight : float
+        The tenant's fair-share weight at submission time (snapshot, so
+        the scheduler needs no registry access at claim time).
     """
 
     id: str
@@ -152,6 +226,9 @@ class Job:
     owner: str | None = None
     lease_expiry: float | None = None
     lease_generation: int = 0
+    tenant: str = ANONYMOUS_TENANT
+    priority: str = DEFAULT_PRIORITY
+    weight: float = 1.0
 
     def to_public_dict(self, include_result: bool = True) -> dict:
         """The job as the HTTP API reports it (``GET /v1/experiments/<id>``)."""
@@ -163,6 +240,8 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "attempts": self.attempts,
+            "tenant": self.tenant,
+            "priority": self.priority,
         }
         if self.owner is not None:
             payload["owner"] = self.owner
@@ -181,6 +260,14 @@ def _row_to_job(row: tuple) -> Job:
     values = dict(zip(_COLUMNS, row))
     values["spec"] = json.loads(values["spec"])
     values["result_json"] = values.pop("result")
+    # pre-tenancy rows carry NULL tenancy columns: normalize to the
+    # anonymous/batch/weight-1 defaults the scheduler treats them as
+    if values.get("tenant") is None:
+        values["tenant"] = ANONYMOUS_TENANT
+    if values.get("priority") is None:
+        values["priority"] = DEFAULT_PRIORITY
+    if values.get("weight") is None:
+        values["weight"] = 1.0
     return Job(**values)
 
 
@@ -235,6 +322,7 @@ class JobQueue:
         self._closed = True
         self._queue_latency = None
         self._job_duration = None
+        self._submitted_total = None
         #: Expired-lease jobs this instance took over from dead owners.
         self.reclaimed = 0
         #: Lease expirations this instance observed (reclaims + expired
@@ -255,12 +343,19 @@ class JobQueue:
             "repro_job_duration_seconds",
             "Seconds from claim to completion, labeled by final status.",
         )
+        self._submitted_total = metrics.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted into the queue, labeled by tenant and priority class.",
+        )
         # initialize the series at zero so a freshly booted daemon's
         # exposition already carries every required family (scrapers and
         # the CI validator never see a present-only-after-traffic series)
         self._queue_latency.labels()
         for status in ("done", "failed"):
             self._job_duration.labels(status=status)
+        self._submitted_total.labels(
+            tenant=ANONYMOUS_TENANT, priority=DEFAULT_PRIORITY
+        )
 
     def _connect(self) -> None:
         """(Re-)establish the connection; caller holds ``self._lock``."""
@@ -308,30 +403,85 @@ class JobQueue:
     # ------------------------------------------------------------------ #
     # submission / claiming
     # ------------------------------------------------------------------ #
-    def submit(self, spec_dict: dict) -> str:
-        """Enqueue one spec (its ``to_dict`` form); returns the job id."""
+    def submit(
+        self,
+        spec_dict: dict,
+        tenant: str | None = None,
+        priority: str | None = None,
+        weight: float = 1.0,
+    ) -> str:
+        """Enqueue one spec (its ``to_dict`` form); returns the job id.
+
+        Parameters
+        ----------
+        spec_dict : dict
+            The spec's ``to_dict()`` payload (must carry a ``kind``).
+        tenant : str, optional
+            The submitting tenant's id; defaults to the anonymous tenant
+            (unauthenticated legacy submissions).
+        priority : str, optional
+            Scheduling tier (``interactive`` or ``batch``; default
+            batch).  Interactive jobs are always claimed ahead of queued
+            batch jobs.
+        weight : float
+            Fair-share weight within the tier (claim frequency is
+            proportional to weight while tenants have queued work).
+
+        Notes
+        -----
+        Atomically with the insert, the tenant's accounting row counts
+        the submission, and the tenant joins the stride scheduler at the
+        current global virtual time (the minimum pass among tenants with
+        queued work) — so a newly arriving tenant is served promptly but
+        cannot leapfrog the whole queue with accumulated idle credit.
+        """
         if not isinstance(spec_dict, dict) or "kind" not in spec_dict:
             raise ValidationError("job spec must be a spec to_dict() payload with a 'kind'")
+        tenant = tenant or ANONYMOUS_TENANT
+        priority = priority or DEFAULT_PRIORITY
+        if priority not in PRIORITY_CLASSES:
+            raise ValidationError(
+                f"unknown priority class {priority!r}; known: {PRIORITY_CLASSES}"
+            )
+        weight = float(weight)
+        if not weight > 0:
+            raise ValidationError(f"job weight must be positive, got {weight}")
         job_id = uuid.uuid4().hex[:16]
         with self._lock:
+            # a first-time tenant joins at the global virtual time (see
+            # the docstring); the subquery runs before this job's insert
             self._conn.execute(
-                "INSERT INTO jobs (id, spec, status, submitted_at, attempts)"
-                " VALUES (?, ?, 'queued', ?, 0)",
-                (job_id, json.dumps(spec_dict, sort_keys=True), time.time()),
+                "INSERT OR IGNORE INTO tenant_sched (tenant, pass_value)"
+                f" VALUES (?, COALESCE(({_MIN_QUEUED_PASS_SQL}), 0.0))",
+                (tenant,),
+            )
+            self._conn.execute(
+                "INSERT INTO jobs (id, spec, status, submitted_at, attempts,"
+                " tenant, priority, weight)"
+                " VALUES (?, ?, 'queued', ?, 0, ?, ?, ?)",
+                (job_id, json.dumps(spec_dict, sort_keys=True), time.time(),
+                 tenant, priority, weight),
+            )
+            self._conn.execute(
+                "INSERT INTO tenant_accounting (tenant, submitted) VALUES (?, 1)"
+                " ON CONFLICT(tenant) DO UPDATE SET submitted = submitted + 1",
+                (tenant,),
             )
             self._conn.commit()
             self._new_job.notify_all()
+        if self._submitted_total is not None:
+            self._submitted_total.labels(tenant=tenant, priority=priority).inc()
         return job_id
 
     def claim(self, owner_id: str | None = None, lease_s: float | None = None) -> Job | None:
-        """Claim the next job for this owner: queued FIFO, else a reclaim.
+        """Claim the next job for this owner: fair-ordered, else a reclaim.
 
         Parameters
         ----------
         owner_id : str, optional
             Identity the lease is written under.  Without it the claim is
-            the legacy owner-less FIFO flip (no lease, no reclaim) —
-            exactly the pre-lease semantics.
+            the legacy owner-less flip (no lease, no reclaim) — exactly
+            the pre-lease semantics.
         lease_s : float, optional
             Lease duration in seconds; required together with
             ``owner_id`` for leased claims.  The owner must
@@ -347,12 +497,23 @@ class JobQueue:
 
         Notes
         -----
+        Candidate order is the weighted-fair schedule (see the module
+        docstring): strict priority tier, then the tenant with the lowest
+        persisted pass value, then FIFO within the tenant.  A won claim
+        advances the tenant's pass by ``stride = 1000 / weight``, clamped
+        up to the global virtual time first so a tenant that idled cannot
+        spend accumulated credit.
+
         Cross-process safety: the queued→running flip is a conditional
         ``UPDATE … WHERE status = 'queued'`` checked by rowcount, so two
         daemons selecting the same candidate race harmlessly — exactly
-        one wins, the loser retries the next candidate.  A reclaim is
-        additionally fenced on the generation it observed, then
-        increments it, stamping the previous owner stale.
+        one wins, the loser retries the next candidate.  (The loser may
+        have advanced the same tenant's pass too; that over-advance only
+        delays the tenant by one stride and decays at its next idle
+        clamp, so fairness degrades gracefully under races rather than
+        double-serving anyone.)  A reclaim is additionally fenced on the
+        generation it observed, then increments it, stamping the previous
+        owner stale.
         """
         leased = owner_id is not None and lease_s is not None
         while True:
@@ -360,11 +521,18 @@ class JobQueue:
             expiry = now + lease_s if leased else None
             with self._lock:
                 row = self._conn.execute(
-                    f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE status = 'queued'"
-                    " ORDER BY submitted_at, rowid LIMIT 1"
+                    f"SELECT {_QUALIFIED_COLUMNS},"
+                    " COALESCE(tenant_sched.pass_value, 0.0) FROM jobs"
+                    " LEFT JOIN tenant_sched ON tenant_sched.tenant ="
+                    " COALESCE(jobs.tenant, 'anonymous')"
+                    " WHERE jobs.status = 'queued'"
+                    f" ORDER BY {_TIER_SQL},"
+                    " COALESCE(tenant_sched.pass_value, 0.0),"
+                    " jobs.submitted_at, jobs.rowid LIMIT 1"
                 ).fetchone()
                 if row is not None:
-                    job = _row_to_job(row)
+                    job = _row_to_job(row[:-1])
+                    tenant_pass = float(row[-1])
                     won = self._conn.execute(
                         "UPDATE jobs SET status = 'running', started_at = ?,"
                         " attempts = attempts + 1, owner = ?, lease_expiry = ?,"
@@ -372,6 +540,8 @@ class JobQueue:
                         " WHERE id = ? AND status = 'queued'",
                         (now, owner_id, expiry, job.id),
                     ).rowcount
+                    if won:
+                        self._advance_pass(job.tenant, tenant_pass, job.weight)
                     self._conn.commit()
                     if not won:
                         continue  # another daemon flipped it first; retry
@@ -411,6 +581,26 @@ class JobQueue:
                     owner=owner_id, lease_expiry=expiry,
                     lease_generation=job.lease_generation + 1,
                 )
+
+    def _advance_pass(self, tenant: str, current_pass: float, weight: float) -> None:
+        """Advance one tenant's stride pass after a won claim.
+
+        Caller holds ``self._lock`` (the advance commits with the claim's
+        own transaction).  The pass is clamped up to the global virtual
+        time before the stride is added, so a tenant rejoining after idle
+        time pays full price for its next claim instead of spending
+        credit accumulated while absent.
+        """
+        stride = _STRIDE_SCALE / max(float(weight or 1.0), 1e-9)
+        floor_row = self._conn.execute(f"{_MIN_QUEUED_PASS_SQL}").fetchone()
+        floor = float(floor_row[0]) if floor_row and floor_row[0] is not None else 0.0
+        new_pass = max(float(current_pass), floor) + stride
+        self._conn.execute(
+            "INSERT INTO tenant_sched (tenant, pass_value) VALUES (?, ?)"
+            " ON CONFLICT(tenant) DO UPDATE"
+            " SET pass_value = MAX(pass_value, excluded.pass_value)",
+            (tenant, new_pass),
+        )
 
     def heartbeat(
         self,
@@ -458,15 +648,19 @@ class JobQueue:
         result_json: str,
         owner_id: str | None = None,
         lease_generation: int | None = None,
+        execute_s: float | None = None,
     ) -> None:
         """Mark one running job ``done``, storing its result document.
 
         With ``owner_id`` and ``lease_generation`` the transition is
         fenced: it only applies while the caller still holds that exact
         lease, and raises :class:`StaleLeaseError` otherwise.
+        ``execute_s`` is the measured execution time charged to the
+        tenant's accounting (wall time since the claim when omitted).
         """
         self._finish(job_id, "done", result=result_json,
-                     owner_id=owner_id, lease_generation=lease_generation)
+                     owner_id=owner_id, lease_generation=lease_generation,
+                     execute_s=execute_s)
 
     def fail(
         self,
@@ -474,14 +668,16 @@ class JobQueue:
         error: str,
         owner_id: str | None = None,
         lease_generation: int | None = None,
+        execute_s: float | None = None,
     ) -> None:
         """Mark one running job ``failed``, storing the error message.
 
         The message is coerced to valid UTF-8 (see ``_sanitize_text``);
-        fencing works as in :meth:`complete`.
+        fencing and accounting work as in :meth:`complete`.
         """
         self._finish(job_id, "failed", error=_sanitize_text(error),
-                     owner_id=owner_id, lease_generation=lease_generation)
+                     owner_id=owner_id, lease_generation=lease_generation,
+                     execute_s=execute_s)
 
     def _finish(
         self,
@@ -491,6 +687,7 @@ class JobQueue:
         error: str | None = None,
         owner_id: str | None = None,
         lease_generation: int | None = None,
+        execute_s: float | None = None,
     ) -> None:
         now = time.time()
         fenced = owner_id is not None and lease_generation is not None
@@ -506,19 +703,31 @@ class JobQueue:
             query += " AND owner = ? AND lease_generation = ? AND status = 'running'"
             params += (owner_id, lease_generation)
         with self._lock:
-            started_at = None
-            if self._job_duration is not None:
-                row = self._conn.execute(
-                    "SELECT started_at FROM jobs WHERE id = ?", (job_id,)
-                ).fetchone()
-                started_at = row[0] if row is not None else None
+            started_at = tenant = None
+            row = self._conn.execute(
+                "SELECT started_at, COALESCE(tenant, 'anonymous')"
+                " FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is not None:
+                started_at, tenant = row
             updated = self._conn.execute(query, params).rowcount
+            if updated and tenant is not None:
+                # charge the tenant atomically with the transition (the
+                # fenced UPDATE guarantees at most one caller gets here
+                # per lease generation, so nothing is double-counted)
+                if execute_s is None:
+                    execute_s = max(0.0, now - started_at) if started_at else 0.0
+                column = "completed" if status == "done" else "failed"
+                self._conn.execute(
+                    f"INSERT INTO tenant_accounting (tenant, {column},"
+                    " execute_seconds) VALUES (?, 1, ?)"
+                    f" ON CONFLICT(tenant) DO UPDATE SET {column} = {column} + 1,"
+                    " execute_seconds = execute_seconds + ?",
+                    (tenant, float(execute_s), float(execute_s)),
+                )
             self._conn.commit()
             if not updated:
-                exists = self._conn.execute(
-                    "SELECT 1 FROM jobs WHERE id = ?", (job_id,)
-                ).fetchone()
-                if exists is None:
+                if row is None:
                     raise KeyError(f"unknown job id {job_id!r}")
                 raise StaleLeaseError(
                     f"job {job_id!r}: lease generation {lease_generation} of"
@@ -564,6 +773,68 @@ class JobQueue:
         counts = {status: 0 for status in JOB_STATUSES}
         counts.update(dict(rows))
         return counts
+
+    def tenant_counts(self, tenant: str) -> dict[str, int]:
+        """One tenant's live ``queued``/``running`` job counts.
+
+        The admission controller's quota oracle: counts read the shared
+        database, so ``max_queued``/``max_running`` bounds hold across
+        every daemon on the queue.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) FROM jobs"
+                " WHERE COALESCE(tenant, 'anonymous') = ?"
+                " AND status IN ('queued', 'running') GROUP BY status",
+                (tenant,),
+            ).fetchall()
+        counts = {"queued": 0, "running": 0}
+        counts.update(dict(rows))
+        return counts
+
+    def tenant_queue_depths(self) -> dict[str, int]:
+        """Queued-job count per tenant (the per-tenant depth gauge feed).
+
+        Tenants with accounting history but an empty queue report 0, so
+        the gauge series drops back instead of going stale at its last
+        non-zero value.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT COALESCE(tenant, 'anonymous'), COUNT(*) FROM jobs"
+                " WHERE status = 'queued' GROUP BY COALESCE(tenant, 'anonymous')"
+            ).fetchall()
+            known = self._conn.execute(
+                "SELECT tenant FROM tenant_accounting"
+            ).fetchall()
+        depths = {tenant: 0 for (tenant,) in known}
+        depths.update(dict(rows))
+        return depths
+
+    def tenant_accounting(self) -> dict[str, dict]:
+        """Per-tenant usage totals (``GET /v1/tenants`` backing data).
+
+        Returns
+        -------
+        dict
+            ``tenant id -> {submitted, completed, failed,
+            execute_seconds}``, cumulative over the queue file's
+            lifetime.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT tenant, submitted, completed, failed, execute_seconds"
+                " FROM tenant_accounting ORDER BY tenant"
+            ).fetchall()
+        return {
+            tenant: {
+                "submitted": int(submitted),
+                "completed": int(completed),
+                "failed": int(failed),
+                "execute_seconds": float(execute_seconds),
+            }
+            for tenant, submitted, completed, failed, execute_seconds in rows
+        }
 
     def lease_stats(self) -> dict[str, int]:
         """Lease health of the running set (for ``/healthz`` and metrics).

@@ -20,6 +20,12 @@ cached replay is re-executed on the live engine and compared bit-for-bit
 — the smoke then asserts ``shadow_checks >= 1`` and
 ``shadow_mismatches == 0`` (and exactly two executions instead of one).
 
+With ``--auth`` the run is the **multi-tenant auth leg** instead: a
+daemon boots with a token registry (accept-only, zero workers — cheap),
+and the smoke asserts the control-plane surfaces end to end: no token →
+401, an unknown token → 401, a valid token → 201, and a ``max_queued=1``
+quota turning the second submission into a 429 carrying ``Retry-After``.
+
 Exit code 0 on success, 1 with a diagnostic on any failed expectation —
 the CI ``service-smoke`` and ``shadow-canary`` jobs run exactly this
 module.
@@ -32,7 +38,7 @@ import sys
 import tempfile
 import time
 
-from . import ExperimentService, ServiceClient, ServiceConfig
+from . import ExperimentService, ServiceClient, ServiceConfig, ServiceError
 from ..session import GRAPESpec, IRBSpec
 
 
@@ -144,6 +150,102 @@ def run_smoke(
     return 0
 
 
+def run_auth_smoke(timeout: float = 60.0) -> int:
+    """The CI auth leg: 401 without a token, 201 with one, 429 on quota.
+
+    Boots an accept-only daemon (zero workers — quota checks run on
+    queued counts, no execution needed) with two tenants: ``ci-interactive``
+    (interactive class) and ``ci-batch`` with ``max_queued=1`` so its
+    second submission breaks the quota deterministically.
+    """
+    registry = {
+        "tenants": {
+            "ci-interactive": {
+                "tokens": ["smoke-interactive-token"],
+                "priority": "interactive",
+                "weight": 4.0,
+            },
+            "ci-batch": {
+                "tokens": ["smoke-batch-token"],
+                "priority": "batch",
+                "max_queued": 1,
+            },
+        }
+    }
+    spec = reduced_fig3_spec()
+    with tempfile.TemporaryDirectory(prefix="repro-service-auth-smoke-") as scratch:
+        config = ServiceConfig(
+            host="127.0.0.1", port=0, store=f"{scratch}/store", workers=0,
+            tokens=registry,
+        )
+        with ExperimentService(config) as service:
+            health = ServiceClient(service.url).health()
+            _expect(
+                health.get("auth", {}).get("enabled") is True,
+                f"daemon did not report auth enabled: {health}",
+            )
+            print(f"auth-enabled daemon up at {service.url} (2 tenants)")
+
+            for label, client in (
+                ("no token", ServiceClient(service.url, max_retries=0)),
+                ("unknown token", ServiceClient(
+                    service.url, token="not-a-real-token", max_retries=0)),
+            ):
+                try:
+                    client.submit(spec)
+                    raise AssertionError(f"{label}: submission was accepted")
+                except ServiceError as exc:
+                    _expect(
+                        exc.status == 401,
+                        f"{label}: expected 401, got {exc.status}: {exc}",
+                    )
+                print(f"{label} -> 401 ok")
+
+            interactive = ServiceClient(
+                service.url, token="smoke-interactive-token", timeout=timeout
+            )
+            job_id = interactive.submit(spec)
+            document = interactive.status(job_id)
+            _expect(
+                document["tenant"] == "ci-interactive"
+                and document["priority"] == "interactive",
+                f"job does not carry its tenancy: {document}",
+            )
+            print(f"valid token -> 201 ok (job {job_id}, tenant ci-interactive)")
+
+            batch = ServiceClient(
+                service.url, token="smoke-batch-token", max_retries=0
+            )
+            batch.submit(spec)
+            try:
+                batch.submit(spec)
+                raise AssertionError("second submission over max_queued=1 was accepted")
+            except ServiceError as exc:
+                _expect(
+                    exc.status == 429,
+                    f"expected 429 over quota, got {exc.status}: {exc}",
+                )
+                _expect(
+                    exc.payload.get("reason") == "max_queued",
+                    f"429 body missing quota reason: {exc.payload}",
+                )
+                _expect(
+                    getattr(exc, "retry_after_s", None) is not None,
+                    "429 response carried no Retry-After header",
+                )
+            print("quota of 1 -> second submit 429 ok (Retry-After present)")
+
+            tenants = interactive.tenants()["tenants"]
+            _expect(
+                tenants["ci-batch"]["accounting"]["submitted"] == 1
+                and tenants["ci-interactive"]["accounting"]["submitted"] == 1,
+                f"accounting does not reflect the submissions: {tenants}",
+            )
+            print("per-tenant accounting ok")
+    print("service auth smoke passed")
+    return 0
+
+
 def _expect(condition: bool, message: str) -> None:
     """Fail fast with a diagnostic on a broken expectation."""
     if not condition:
@@ -160,8 +262,13 @@ def main(argv=None) -> int:
                         help="write the final /v1/metrics document to this file")
     parser.add_argument("--shadow-rate", type=float, default=None, metavar="RATE",
                         help="daemon shadow-verification rate (1.0 = shadow canary)")
+    parser.add_argument("--auth", action="store_true",
+                        help="run the multi-tenant auth leg instead "
+                             "(401/201/429 against a token-enabled daemon)")
     args = parser.parse_args(argv)
     try:
+        if args.auth:
+            return run_auth_smoke()
         return run_smoke(metrics_out=args.metrics_out, shadow_rate=args.shadow_rate)
     except AssertionError as exc:
         print(f"SMOKE FAIL: {exc}", file=sys.stderr)

@@ -1,0 +1,55 @@
+"""Multi-tenant control plane of the experiment service.
+
+The tenancy subsystem turns the single-user daemon into a service that
+can face many users at once, in three composable pieces:
+
+* :mod:`~repro.service.tenancy.auth` — **identity**: a file/env-backed
+  :class:`TokenRegistry` mapping bearer tokens to :class:`Tenant`
+  records (priority class, fair-share weight, quotas); the HTTP layer
+  enforces ``Authorization: Bearer`` on every ``/v1/*`` route (401/403),
+  with ``/healthz`` and ``/v1/metrics`` left open for probes and
+  scrapers, and an explicit ``--no-auth`` legacy mode;
+* :mod:`~repro.service.tenancy.quotas` — **admission control**: the
+  :class:`AdmissionController` checks per-tenant queue bounds and a
+  submission-rate :class:`TokenBucket` at ``POST /v1/experiments``
+  (429 + ``Retry-After``), so no tenant can flood the queue;
+* **weighted-fair scheduling** lives in the
+  :class:`~repro.service.queue.JobQueue` itself: every job carries its
+  ``(tenant, priority, weight)``, and ``claim()`` drains strict
+  priority tiers (interactive before batch) with stride-weighted
+  round-robin across tenants inside each tier — preserving the atomic
+  conditional-``UPDATE`` claim protocol, lease fencing and recovery
+  semantics unchanged.
+
+Per-tenant accounting (jobs submitted/completed/failed, execute-seconds)
+is journaled in the queue database next to the jobs table and surfaces
+at ``GET /v1/tenants`` and in the per-tenant metric series.  See
+``docs/tenancy.md`` for the registry format, quota semantics and the
+scheduling algorithm's starvation bound.
+"""
+
+from .auth import (
+    ANONYMOUS_TENANT,
+    AuthError,
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    Tenant,
+    TokenRegistry,
+    TOKENS_ENV,
+    resolve_token_registry,
+)
+from .quotas import AdmissionController, QuotaExceeded, TokenBucket
+
+__all__ = [
+    "ANONYMOUS_TENANT",
+    "AdmissionController",
+    "AuthError",
+    "DEFAULT_PRIORITY",
+    "PRIORITY_CLASSES",
+    "QuotaExceeded",
+    "Tenant",
+    "TokenBucket",
+    "TokenRegistry",
+    "TOKENS_ENV",
+    "resolve_token_registry",
+]

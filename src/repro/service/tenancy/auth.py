@@ -1,0 +1,321 @@
+"""Token-based tenant identity for the experiment service.
+
+The registry is the daemon's single source of identity truth: bearer
+tokens map to :class:`Tenant` records carrying the per-tenant scheduling
+and admission configuration (priority class, weight, quotas).  It is
+deliberately file/env-backed — a ``tokens.json`` document or the
+``REPRO_API_TOKENS`` environment variable — so deployments need no
+external identity service and tests can mint registries inline.
+
+``tokens.json`` format (one tenant per entry; every field except
+``tokens`` optional)::
+
+    {
+      "tenants": {
+        "alice": {
+          "tokens": ["a1ice-secret"],
+          "priority": "interactive",
+          "weight": 4.0,
+          "max_queued": 100,
+          "max_running": 10,
+          "rate_per_s": 5.0,
+          "burst": 10,
+          "revoked": false
+        },
+        "batch-pipeline": {"tokens": ["bp-secret"], "priority": "batch"}
+      }
+    }
+
+``REPRO_API_TOKENS`` accepts either the same JSON document or the
+compact form ``token:tenant[:priority[:weight]]``, comma-separated::
+
+    REPRO_API_TOKENS="a1ice-secret:alice:interactive:4,bp-secret:batch-pipeline"
+
+Authentication failures are :class:`AuthError` with the HTTP status the
+API must answer: **401** for a missing or unknown token, **403** for a
+token whose tenant is revoked (the identity is known but barred).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ...utils.validation import ValidationError
+
+__all__ = [
+    "AuthError",
+    "PRIORITY_CLASSES",
+    "Tenant",
+    "TokenRegistry",
+    "resolve_token_registry",
+    "TOKENS_ENV",
+]
+
+#: Environment variable holding the token registry (JSON or compact form).
+TOKENS_ENV = "REPRO_API_TOKENS"
+
+#: Priority tiers in scheduling order: earlier tiers always drain first.
+PRIORITY_CLASSES = ("interactive", "batch")
+
+#: Priority class of submissions with no (or no configured) class.
+DEFAULT_PRIORITY = "batch"
+
+#: The tenant identity of unauthenticated (``--no-auth``) submissions.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class AuthError(Exception):
+    """A request failed authentication.
+
+    Attributes
+    ----------
+    status : int
+        The HTTP status the API must answer: 401 (missing/unknown
+        token — the caller may retry with credentials) or 403 (known
+        but revoked tenant — retrying with the same token is futile).
+    """
+
+    def __init__(self, message: str, status: int = 401):
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's identity and control-plane configuration.
+
+    Attributes
+    ----------
+    id : str
+        Stable tenant identifier (recorded on every job row and in the
+        per-tenant accounting table).
+    priority : str
+        Scheduling tier, one of :data:`PRIORITY_CLASSES`.  Interactive
+        jobs are always claimed ahead of queued batch jobs.
+    weight : float
+        Weighted-fair share *within* the tenant's tier: a tenant with
+        weight 2 is claimed twice as often as a weight-1 peer while both
+        have queued jobs.
+    max_queued : int or None
+        Admission bound on this tenant's simultaneously queued jobs
+        (None = unlimited).
+    max_running : int or None
+        Admission bound on this tenant's simultaneously running jobs.
+    rate_per_s : float or None
+        Sustained submission rate of the tenant's token bucket
+        (None = unlimited).
+    burst : int or None
+        Token-bucket capacity (default: ``max(rate_per_s, 1)``).
+    revoked : bool
+        A revoked tenant's tokens authenticate to 403, not 401 — the
+        identity is known but barred.
+    """
+
+    id: str
+    priority: str = DEFAULT_PRIORITY
+    weight: float = 1.0
+    max_queued: int | None = None
+    max_running: int | None = None
+    rate_per_s: float | None = None
+    burst: int | None = None
+    revoked: bool = False
+
+    def __post_init__(self):
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValidationError(
+                f"tenant {self.id!r}: unknown priority {self.priority!r};"
+                f" known classes: {PRIORITY_CLASSES}"
+            )
+        if not self.weight > 0:
+            raise ValidationError(
+                f"tenant {self.id!r}: weight must be positive, got {self.weight}"
+            )
+
+    def to_public_dict(self) -> dict:
+        """The tenant's configuration as ``GET /v1/tenants`` reports it
+        (tokens never included)."""
+        return {
+            "id": self.id,
+            "priority": self.priority,
+            "weight": self.weight,
+            "max_queued": self.max_queued,
+            "max_running": self.max_running,
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "revoked": self.revoked,
+        }
+
+
+class TokenRegistry:
+    """Bearer-token → :class:`Tenant` lookup for the HTTP layer.
+
+    Parameters
+    ----------
+    tenants : dict
+        ``tenant id -> Tenant`` (the configuration records).
+    tokens : dict
+        ``token -> tenant id`` (the credential index; several tokens may
+        map to one tenant).
+    """
+
+    def __init__(self, tenants: dict[str, Tenant], tokens: dict[str, str]):
+        self.tenants = dict(tenants)
+        self._tokens = dict(tokens)
+        for token, tenant_id in self._tokens.items():
+            if tenant_id not in self.tenants:
+                raise ValidationError(
+                    f"token {token[:4]}…: unknown tenant {tenant_id!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.tenants)
+
+    def __repr__(self) -> str:
+        return f"TokenRegistry({len(self.tenants)} tenant(s))"
+
+    def authenticate(self, token: str | None) -> Tenant:
+        """The tenant of one bearer token; :class:`AuthError` otherwise.
+
+        Missing or unknown tokens are 401; a known token whose tenant is
+        revoked is 403.  Token values never appear in error messages.
+        """
+        if not token:
+            raise AuthError("missing bearer token", status=401)
+        tenant_id = self._tokens.get(token)
+        if tenant_id is None:
+            raise AuthError("unknown bearer token", status=401)
+        tenant = self.tenants[tenant_id]
+        if tenant.revoked:
+            raise AuthError(f"tenant {tenant_id!r} is revoked", status=403)
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant | None:
+        """The tenant record of one id, or None."""
+        return self.tenants.get(tenant_id)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, document: dict) -> "TokenRegistry":
+        """A registry from the ``tokens.json`` document structure."""
+        if not isinstance(document, dict) or "tenants" not in document:
+            raise ValidationError(
+                "token registry document must be {'tenants': {id: {...}}}"
+            )
+        tenants: dict[str, Tenant] = {}
+        tokens: dict[str, str] = {}
+        for tenant_id, config in document["tenants"].items():
+            if not isinstance(config, dict):
+                raise ValidationError(
+                    f"tenant {tenant_id!r}: configuration must be a mapping"
+                )
+            config = dict(config)
+            tenant_tokens = config.pop("tokens", [])
+            if isinstance(tenant_tokens, str):
+                tenant_tokens = [tenant_tokens]
+            known = {f.name for f in Tenant.__dataclass_fields__.values()} - {"id"}
+            unknown = set(config) - known
+            if unknown:
+                raise ValidationError(
+                    f"tenant {tenant_id!r}: unknown field(s) {sorted(unknown)};"
+                    f" known: {sorted(known)}"
+                )
+            tenants[tenant_id] = Tenant(id=tenant_id, **config)
+            for token in tenant_tokens:
+                if not isinstance(token, str) or not token:
+                    raise ValidationError(
+                        f"tenant {tenant_id!r}: tokens must be non-empty strings"
+                    )
+                if token in tokens:
+                    raise ValidationError(
+                        f"token assigned to both {tokens[token]!r} and {tenant_id!r}"
+                    )
+                tokens[token] = tenant_id
+        return cls(tenants, tokens)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TokenRegistry":
+        """A registry from a ``tokens.json`` file."""
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ValidationError(f"token registry file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"token registry {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(document)
+
+    @classmethod
+    def from_env(cls, value: str | None = None) -> "TokenRegistry":
+        """A registry from :data:`TOKENS_ENV` (JSON or the compact form).
+
+        The compact form is ``token:tenant[:priority[:weight]]`` entries,
+        comma-separated; tenants repeated across entries share one record
+        (first entry's priority/weight win).
+        """
+        if value is None:
+            value = os.environ.get(TOKENS_ENV, "")
+        value = value.strip()
+        if not value:
+            raise ValidationError(f"{TOKENS_ENV} is empty")
+        if value.startswith("{"):
+            try:
+                return cls.from_dict(json.loads(value))
+            except json.JSONDecodeError as exc:
+                raise ValidationError(f"{TOKENS_ENV} is not valid JSON: {exc}") from exc
+        tenants: dict[str, Tenant] = {}
+        tokens: dict[str, str] = {}
+        for entry in value.split(","):
+            parts = entry.strip().split(":")
+            if len(parts) < 2 or not parts[0] or not parts[1]:
+                raise ValidationError(
+                    f"{TOKENS_ENV}: entries must be token:tenant[:priority[:weight]],"
+                    f" got {entry.strip()!r}"
+                )
+            token, tenant_id = parts[0], parts[1]
+            if tenant_id not in tenants:
+                priority = parts[2] if len(parts) > 2 and parts[2] else DEFAULT_PRIORITY
+                try:
+                    weight = float(parts[3]) if len(parts) > 3 and parts[3] else 1.0
+                except ValueError:
+                    raise ValidationError(
+                        f"{TOKENS_ENV}: bad weight in entry {entry.strip()!r}"
+                    ) from None
+                tenants[tenant_id] = Tenant(id=tenant_id, priority=priority, weight=weight)
+            if token in tokens:
+                raise ValidationError(
+                    f"{TOKENS_ENV}: token assigned to both"
+                    f" {tokens[token]!r} and {tenant_id!r}"
+                )
+            tokens[token] = tenant_id
+        return cls(tenants, tokens)
+
+
+def resolve_token_registry(source=None) -> TokenRegistry | None:
+    """The registry of one configuration source (daemon boot helper).
+
+    ``None`` falls back to :data:`TOKENS_ENV` when set, else resolves to
+    ``None`` — the open (legacy, unauthenticated) mode.  A path loads
+    ``tokens.json``; a dict is the document form; a registry passes
+    through.  ``False`` forces open mode regardless of the environment
+    (the daemon's ``--no-auth``).
+    """
+    if source is False:
+        return None
+    if source is None:
+        if os.environ.get(TOKENS_ENV, "").strip():
+            return TokenRegistry.from_env()
+        return None
+    if isinstance(source, TokenRegistry):
+        return source
+    if isinstance(source, dict):
+        return TokenRegistry.from_dict(source)
+    if isinstance(source, (str, Path)):
+        return TokenRegistry.from_file(source)
+    raise ValidationError(
+        f"cannot resolve a token registry from {type(source).__name__}"
+    )

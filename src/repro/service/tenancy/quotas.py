@@ -1,0 +1,170 @@
+"""Per-tenant admission control: queue/running quotas + rate limiting.
+
+Quotas are checked **at submission time** (``POST /v1/experiments``):
+a request breaking any bound is a 429 with a ``Retry-After`` hint, and
+never reaches the queue — the scheduler only ever sees admitted jobs.
+Three independent bounds per tenant (all optional, see
+:class:`~repro.service.tenancy.auth.Tenant`):
+
+* ``max_queued`` — simultaneously queued jobs,
+* ``max_running`` — simultaneously running jobs,
+* ``rate_per_s``/``burst`` — a token bucket on submission rate.
+
+Queue-state bounds read the shared SQLite job database, so they hold
+across N daemons; the token bucket is **per daemon process** (documented
+in ``docs/tenancy.md``: a K-daemon deployment admits up to K× the
+configured rate, which bounds the error without cross-process
+coordination on the hot submission path).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["QuotaExceeded", "TokenBucket", "AdmissionController"]
+
+
+class QuotaExceeded(Exception):
+    """A submission broke one of its tenant's admission bounds (HTTP 429).
+
+    Attributes
+    ----------
+    retry_after_s : float
+        Seconds after which the request may succeed: the token-bucket
+        refill time for rate rejections, a poll hint for queue-bound
+        rejections (the bound clears when a job finishes, which has no
+        fixed schedule).
+    reason : str
+        Which bound rejected (``max_queued`` / ``max_running`` / ``rate``).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0, reason: str = "quota"):
+        super().__init__(message)
+        self.retry_after_s = max(0.0, float(retry_after_s))
+        self.reason = reason
+
+
+class TokenBucket:
+    """A thread-safe token bucket (sustained rate + burst capacity).
+
+    Parameters
+    ----------
+    rate_per_s : float
+        Sustained refill rate (tokens per second).
+    burst : float, optional
+        Bucket capacity (default ``max(rate_per_s, 1)``), i.e. how many
+        back-to-back submissions an idle tenant may make instantly.
+    clock : callable, optional
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(self, rate_per_s: float, burst: float | None = None, clock=time.monotonic):
+        self.rate_per_s = float(rate_per_s)
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.burst = float(burst) if burst is not None else max(self.rate_per_s, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        self._stamp = now
+
+    def try_acquire(self) -> float:
+        """Take one token; returns 0.0, or the seconds until one refills.
+
+        A non-zero return means the caller was rejected and should retry
+        after that many seconds (the ``Retry-After`` surface).
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refilled to now; for tests/inspection)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class AdmissionController:
+    """Applies every tenant's admission bounds at submission time.
+
+    Parameters
+    ----------
+    clock : callable, optional
+        Monotonic time source shared by every tenant's token bucket
+        (injectable for deterministic tests).
+
+    Notes
+    -----
+    The controller is stateless except for the per-tenant token buckets,
+    created lazily on a tenant's first submission.  Queue-state bounds
+    are evaluated against live counts from the shared
+    :class:`~repro.service.queue.JobQueue`, so they are consistent
+    across all daemons on the queue.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant) -> TokenBucket | None:
+        if tenant.rate_per_s is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant.id)
+            if (
+                bucket is None
+                or bucket.rate_per_s != float(tenant.rate_per_s)
+                or (tenant.burst is not None and bucket.burst != float(tenant.burst))
+            ):
+                bucket = TokenBucket(
+                    tenant.rate_per_s, burst=tenant.burst, clock=self._clock
+                )
+                self._buckets[tenant.id] = bucket
+            return bucket
+
+    def admit(self, tenant, queue) -> None:
+        """Admit one submission or raise :class:`QuotaExceeded`.
+
+        The rate bucket is charged **last**, so a submission rejected on
+        a queue bound does not also burn a rate token.
+        """
+        bounded = tenant.max_queued is not None or tenant.max_running is not None
+        if bounded:
+            counts = queue.tenant_counts(tenant.id)
+            if tenant.max_queued is not None and counts["queued"] >= tenant.max_queued:
+                raise QuotaExceeded(
+                    f"tenant {tenant.id!r} has {counts['queued']} queued job(s),"
+                    f" at its max_queued={tenant.max_queued} quota",
+                    retry_after_s=1.0,
+                    reason="max_queued",
+                )
+            if tenant.max_running is not None and counts["running"] >= tenant.max_running:
+                raise QuotaExceeded(
+                    f"tenant {tenant.id!r} has {counts['running']} running job(s),"
+                    f" at its max_running={tenant.max_running} quota",
+                    retry_after_s=1.0,
+                    reason="max_running",
+                )
+        bucket = self._bucket(tenant)
+        if bucket is not None:
+            retry_after = bucket.try_acquire()
+            if retry_after > 0.0:
+                raise QuotaExceeded(
+                    f"tenant {tenant.id!r} exceeded its {tenant.rate_per_s}/s"
+                    " submission rate",
+                    retry_after_s=retry_after,
+                    reason="rate",
+                )

@@ -268,19 +268,26 @@ class WorkerPool:
         fence = dict(owner_id=self.owner_id, lease_generation=job.lease_generation) \
             if self.leased else {}
         heartbeat_done = self._start_heartbeat(job)
+        execute_started = time.monotonic()
         try:
             delay = float(os.environ.get(FAULT_EXECUTE_DELAY_ENV, 0) or 0)
             if delay > 0:
                 time.sleep(delay)
             spec = spec_from_dict(job.spec)
             result = session.run(spec)
-            self.queue.complete(job.id, result.to_json(indent=None), **fence)
+            self.queue.complete(
+                job.id, result.to_json(indent=None),
+                execute_s=time.monotonic() - execute_started, **fence,
+            )
         except StaleLeaseError:
             with self._lost_lock:
                 self.lost_leases += 1
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             try:
-                self.queue.fail(job.id, f"{type(exc).__name__}: {exc}", **fence)
+                self.queue.fail(
+                    job.id, f"{type(exc).__name__}: {exc}",
+                    execute_s=time.monotonic() - execute_started, **fence,
+                )
             except StaleLeaseError:
                 with self._lost_lock:
                     self.lost_leases += 1

@@ -244,6 +244,16 @@ class TestServiceRoundTrip:
             with pytest.raises(ServiceError) as err:
                 client._request("POST", "/v1/experiments", oversized)
             assert err.value.status == 413
+            # the 413 is structured JSON carrying the actual limit
+            assert err.value.payload["max_body_bytes"] == 8 * 1024 * 1024
+            assert "byte limit" in err.value.payload["error"]
+            # listing limit validation: non-integers and negatives are 400s
+            for bad_limit in ("abc", "-1", "1.5"):
+                with pytest.raises(ServiceError) as err:
+                    client._request("GET", f"/v1/experiments?limit={bad_limit}")
+                assert err.value.status == 400
+            # oversized limits clamp instead of erroring
+            assert client._request("GET", "/v1/experiments?limit=999999")["jobs"] == []
             # jobs listing and store stats answer while idle
             assert client.jobs() == []
             assert client.store_stats()["stats"]["results"]["writes"] == 0
