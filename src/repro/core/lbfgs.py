@@ -42,11 +42,20 @@ def optimize_lbfgs(
     fid_err_targ: float = 1e-10,
     max_iter: int = 500,
     max_wall_time: float = 120.0,
+    cost_grad=None,
 ) -> OptimResult:
     """Optimize PWC amplitudes with L-BFGS-B.
 
     Parameters mirror :func:`repro.core.pulseoptim.optimize_pulse_unitary`;
     see there for details.  Returns an :class:`~repro.core.result.OptimResult`.
+
+    ``cost_grad`` optionally replaces the default
+    :func:`~repro.core.grape.grape_cost_and_gradient` closure: a callable
+    mapping an ``(n_ctrls, n_ts)`` amplitude array to ``(cost, gradient)``.
+    It is used for **every** evaluation (scipy's and the final
+    re-evaluation), so a drop-in that returns bit-identical values — e.g.
+    the cross-point batched evaluator in :mod:`repro.core.grape_batch` —
+    reproduces the default path's iterates exactly.
     """
     initial_amps = clip_amplitudes(np.array(initial_amps, dtype=float), amp_lbound, amp_ubound)
     if initial_amps.ndim != 2:
@@ -57,15 +66,19 @@ def optimize_lbfgs(
     n_fun = 0
     best = {"cost": np.inf, "amps": initial_amps.copy()}
 
+    if cost_grad is None:
+        def cost_grad(amps: np.ndarray) -> tuple[float, np.ndarray]:
+            return grape_cost_and_gradient(
+                drift, controls, amps, dt, u_target,
+                c_ops=c_ops, phase_option=phase_option, gradient=gradient,
+                subspace_dim=subspace_dim,
+            )
+
     def fun(x: np.ndarray) -> tuple[float, np.ndarray]:
         nonlocal n_fun
         n_fun += 1
         amps = x.reshape(n_ctrls, n_ts)
-        cost, grad = grape_cost_and_gradient(
-            drift, controls, amps, dt, u_target,
-            c_ops=c_ops, phase_option=phase_option, gradient=gradient,
-            subspace_dim=subspace_dim,
-        )
+        cost, grad = cost_grad(amps)
         if cost < best["cost"]:
             best["cost"] = cost
             best["amps"] = amps.copy()
@@ -104,11 +117,7 @@ def optimize_lbfgs(
             reason = "wall time exceeded"
 
     final_amps = clip_amplitudes(best["amps"], amp_lbound, amp_ubound)
-    final_cost, _ = grape_cost_and_gradient(
-        drift, controls, final_amps, dt, u_target,
-        c_ops=c_ops, phase_option=phase_option, gradient=gradient,
-        subspace_dim=subspace_dim,
-    )
+    final_cost, _ = cost_grad(final_amps)
     if not history or history[-1] != final_cost:
         history.append(float(final_cost))
     wall = time.perf_counter() - start

@@ -90,6 +90,7 @@ def optimize_pulse_unitary(
     amp_ubound: float | None = 1.0,
     subspace_dim: int | None = None,
     seed=None,
+    cost_grad=None,
     **method_options,
 ) -> OptimResult:
     """Find piecewise-constant control amplitudes realizing a target unitary.
@@ -136,6 +137,10 @@ def optimize_pulse_unitary(
         model); ``None`` uses the full space.
     seed:
         RNG seed for stochastic components (random guesses, SPSA, CRAB).
+    cost_grad:
+        L-BFGS-B only: replacement cost/gradient callable (see
+        :func:`repro.core.lbfgs.optimize_lbfgs`); used by the cross-point
+        batched sweep evaluator in :mod:`repro.core.grape_batch`.
     **method_options:
         Forwarded to the specific optimizer (e.g. ``n_coeffs`` for CRAB,
         ``n_modes`` for GOAT, ``lambda_step`` for Krotov).
@@ -183,6 +188,8 @@ def optimize_pulse_unitary(
             )
     dt = grid.dt
 
+    if cost_grad is not None and method_key != "LBFGS":
+        raise ValidationError("cost_grad is only supported with method='LBFGS'")
     if method_key == "LBFGS":
         return optimize_lbfgs(
             drift_arr, ctrl_arrs, initial_amps, u_target, dt,
@@ -190,6 +197,7 @@ def optimize_pulse_unitary(
             subspace_dim=subspace_dim,
             amp_lbound=amp_lbound, amp_ubound=amp_ubound,
             fid_err_targ=fid_err_targ, max_iter=max_iter, max_wall_time=max_wall_time,
+            cost_grad=cost_grad,
         )
     if method_key == "GRAPE":
         optimizer = GrapeOptimizer(

@@ -22,6 +22,7 @@ This module reproduces the paper's workflow for one gate:
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -32,6 +33,7 @@ from ..backend.result import Result
 from ..benchmarking.irb import InterleavedRBExperiment, InterleavedRBResult
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gate import Gate
+from ..core.parametrization import TimeGrid
 from ..core.pulseoptim import optimize_pulse_unitary
 from ..core.result import OptimResult
 from ..devices.cross_resonance import CrossResonanceModel
@@ -50,6 +52,7 @@ __all__ = [
     "GateExperimentConfig",
     "GateExperimentResult",
     "optimize_gate_pulse",
+    "optimize_gate_pulse_batch",
     "pulse_schedule_from_result",
     "gate_histogram",
     "run_gate_experiment",
@@ -160,18 +163,21 @@ def _cr_model(properties: BackendProperties, qubits: Sequence[int]):
     return model
 
 
-def optimize_gate_pulse(
-    properties: BackendProperties,
-    config: GateExperimentConfig,
-) -> OptimResult:
-    """Run the paper's pulse optimization for one gate on one device.
+@dataclass
+class _GateProblem:
+    """The optimizer-view model of one gate optimization."""
 
-    Single-qubit gates use the Duffing-transmon model with Pauli X/Y control
-    terms built from the backend's reported data; CNOT uses the Eq. (1) CR
-    model with the XI/IX/ZX control terms and absorbs the final virtual-Z on
-    the control qubit (free on hardware) into the target, exactly as the
-    echoed-CR calibration does.
-    """
+    drift: np.ndarray
+    controls: list
+    c_ops: list | None
+    target: np.ndarray
+    dim: int
+    subspace_dim: int | None
+    max_iter: int
+
+
+def _gate_problem(properties: BackendProperties, config: GateExperimentConfig) -> _GateProblem:
+    """Build the drift/controls/target model for one gate optimization."""
     gate = config.gate.lower()
     max_iter = config.max_iter
     # Optional escape hatch: cap the optimizer iteration budget so the full
@@ -199,24 +205,154 @@ def optimize_gate_pulse(
         dim = config.optimizer_levels
         if config.optimizer_levels > 2:
             subspace_dim = 2
+    return _GateProblem(
+        drift=drift,
+        controls=list(controls),
+        c_ops=c_ops,
+        target=target,
+        dim=dim,
+        subspace_dim=subspace_dim,
+        max_iter=max_iter,
+    )
+
+
+def _run_gate_optimization(
+    config: GateExperimentConfig,
+    problem: _GateProblem,
+    cost_grad=None,
+) -> OptimResult:
+    """Run :func:`optimize_pulse_unitary` on a prepared :class:`_GateProblem`."""
     return optimize_pulse_unitary(
-        drift,
-        controls,
-        np.eye(dim),
-        target,
+        problem.drift,
+        problem.controls,
+        np.eye(problem.dim),
+        problem.target,
         n_ts=config.n_ts,
         evo_time=config.duration_ns,
-        c_ops=c_ops,
+        c_ops=problem.c_ops,
         method=config.method,
         fid_err_targ=config.fid_err_targ,
-        max_iter=max_iter,
+        max_iter=problem.max_iter,
         init_pulse_type=config.init_pulse_type,
         init_pulse_scale=config.init_pulse_scale,
         amp_lbound=config.amp_lbound,
         amp_ubound=config.amp_ubound,
-        subspace_dim=subspace_dim,
+        subspace_dim=problem.subspace_dim,
         seed=config.seed,
+        cost_grad=cost_grad,
     )
+
+
+def optimize_gate_pulse(
+    properties: BackendProperties,
+    config: GateExperimentConfig,
+) -> OptimResult:
+    """Run the paper's pulse optimization for one gate on one device.
+
+    Single-qubit gates use the Duffing-transmon model with Pauli X/Y control
+    terms built from the backend's reported data; CNOT uses the Eq. (1) CR
+    model with the XI/IX/ZX control terms and absorbs the final virtual-Z on
+    the control qubit (free on hardware) into the target, exactly as the
+    echoed-CR calibration does.
+    """
+    return _run_gate_optimization(config, _gate_problem(properties, config))
+
+
+def _batchable_problems(configs: Sequence[GateExperimentConfig], problems: Sequence[_GateProblem]) -> bool:
+    """Whether the prepared problems can share one stacked evaluator.
+
+    Requires ≥2 closed-system L-BFGS-B points over an identical model: same
+    drift and control Hamiltonians (bit-equal), same dimension, subspace and
+    slot grid.  Targets, seeds, initial-pulse shapes, bounds, stopping
+    criteria may all differ per point.
+    """
+    if len(problems) < 2:
+        return False
+    base_cfg, base = configs[0], problems[0]
+    for cfg, prob in zip(configs, problems):
+        if cfg.method.upper() != "LBFGS" or prob.c_ops is not None:
+            return False
+        if prob.dim != base.dim or prob.subspace_dim != base.subspace_dim:
+            return False
+        if cfg.n_ts != base_cfg.n_ts or cfg.duration_ns != base_cfg.duration_ns:
+            return False
+        if not np.array_equal(np.asarray(prob.drift), np.asarray(base.drift)):
+            return False
+        if len(prob.controls) != len(base.controls) or not all(
+            np.array_equal(np.asarray(a), np.asarray(b))
+            for a, b in zip(prob.controls, base.controls)
+        ):
+            return False
+    return True
+
+
+def optimize_gate_pulse_batch(
+    properties: BackendProperties,
+    configs: Sequence[GateExperimentConfig],
+) -> list[OptimResult]:
+    """Optimize many gate configs over one shared model in a stacked pass.
+
+    When every config is a closed-system L-BFGS-B point over the same
+    Hamiltonian model (same device/qubits/levels/grid — they may differ in
+    target gate, seed, initial pulse, bounds and stopping criteria), the
+    per-iteration cost/gradient evaluations of all points are fused into one
+    stacked pass via :class:`~repro.core.grape_batch.StackedClosedEvaluator`.
+    Each point still runs its own genuine L-BFGS-B state machine, and because
+    the stacked evaluation is bit-identical to the solo one, every returned
+    :class:`~repro.core.result.OptimResult` matches a solo
+    :func:`optimize_gate_pulse` call exactly.
+
+    Configs that cannot be stacked (open-system, non-LBFGS, or mixed models)
+    fall back to sequential solo optimization.
+    """
+    from ..core.grape_batch import LockstepEvaluator, StackedClosedEvaluator
+
+    configs = list(configs)
+    problems = [_gate_problem(properties, config) for config in configs]
+    if not _batchable_problems(configs, problems):
+        return [
+            _run_gate_optimization(config, problem)
+            for config, problem in zip(configs, problems)
+        ]
+
+    base_cfg, base = configs[0], problems[0]
+    dt = TimeGrid(n_ts=base_cfg.n_ts, evo_time=base_cfg.duration_ns).dt
+    stacked = StackedClosedEvaluator(
+        base.drift,
+        base.controls,
+        [problem.target for problem in problems],
+        dt,
+        phase_option="PSU",
+        gradient="exact",
+        subspace_dim=base.subspace_dim,
+    )
+    lockstep = LockstepEvaluator(stacked)
+
+    results: list[OptimResult | None] = [None] * len(configs)
+    errors: list[BaseException | None] = [None] * len(configs)
+
+    def run_point(index: int) -> None:
+        try:
+            results[index] = _run_gate_optimization(
+                configs[index], problems[index], cost_grad=lockstep.for_point(index)
+            )
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+            errors[index] = exc
+        finally:
+            lockstep.retire(index)
+
+    threads = [
+        threading.Thread(target=run_point, args=(i,), name=f"grape-batch-{i}")
+        for i in range(len(configs))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return [result for result in results if result is not None]
 
 
 # --------------------------------------------------------------------------- #

@@ -73,6 +73,11 @@ class ServiceConfig:
         wait for a pool).
     session_num_workers : int
         Per-experiment process fan-out of each worker session.
+    worker_mode : str
+        ``"thread"`` (default, in-process sessions) or ``"process"``
+        (each worker's session lives in a dedicated subprocess —
+        crash/memory isolation and per-worker GILs; ``--worker-mode``).
+        See ``docs/performance.md``.
     gc_interval_s : float, optional
         Period of the background store-GC sweep; ``None`` disables it
         (the CLI `prune` remains available).
@@ -119,6 +124,7 @@ class ServiceConfig:
     queue_path: str | Path | None = None
     workers: int = 2
     session_num_workers: int = 1
+    worker_mode: str = "thread"
     gc_interval_s: float | None = None
     results_max_bytes: int | None = None
     results_max_age_s: float | None = None
@@ -211,6 +217,7 @@ class ExperimentService:
             self.store,
             workers=config.workers,
             session_num_workers=config.session_num_workers,
+            worker_mode=config.worker_mode,
             shadow_rate=config.shadow_rate,
             # wrap the configured sink so every job's trace also feeds the
             # per-span duration histograms of /v1/metrics
@@ -341,6 +348,7 @@ class ExperimentService:
             "status": "ok",
             "uptime_s": (time.time() - self._started_at) if self._started_at else 0.0,
             "workers": self.pool.workers,
+            "worker_mode": self.pool.worker_mode,
             "jobs": self.queue.counts(),
             "recovered_jobs": self.recovered_jobs,
             "sessions": self.pool.aggregate_stats(),
@@ -362,11 +370,26 @@ class ExperimentService:
             "last_gc": self.last_gc,
         }
 
+    def _merged_store_stats(self) -> dict:
+        """This daemon's store counters plus its worker subprocesses'.
+
+        In thread mode the pool contributes nothing (every worker writes
+        through ``self.store``); in process mode each child has its own
+        store instance, whose shipped-back counters are folded in here so
+        writes/hits stay observable regardless of ``worker_mode``.
+        """
+        stats = {namespace: dict(counters) for namespace, counters in self.store.stats.items()}
+        for namespace, counters in self.pool.aggregate_store_stats().items():
+            bucket = stats.setdefault(namespace, {})
+            for counter, value in counters.items():
+                bucket[counter] = bucket.get(counter, 0) + value
+        return stats
+
     def store_stats(self) -> dict:
         """The ``/v1/store/stats`` document: counters + disk footprint."""
         return {
             "root": str(self.store.root),
-            "stats": self.store.stats,
+            "stats": self._merged_store_stats(),
             "disk": self.store.disk_stats(),
         }
 
@@ -480,7 +503,7 @@ class ExperimentService:
             "repro_store_events_total",
             "Artifact-store namespace counters (writes, hits, evictions, ...).",
         )
-        store_stats = self.store.stats
+        store_stats = self._merged_store_stats()
         for namespace, counters in store_stats.items():
             for counter, value in counters.items():
                 store_events.labels(namespace=namespace, counter=counter).set(value)

@@ -34,6 +34,12 @@ Step kinds, in build order:
     Enumerate (or load from the store) the n-qubit Clifford group.
 ``backend``
     Instantiate the device's :class:`~repro.backend.backend.PulseBackend`.
+``grape_batch``
+    Stack the cold points of a batchable GRAPE group (same device, qubits,
+    grid and model class — only initial conditions and targets differ) into
+    one cross-point optimization pass (see
+    :mod:`repro.core.grape_batch`); bit-identical to the per-point path,
+    gated by ``$REPRO_GRAPE_BATCH`` / ``plan_specs(batch_grape=...)``.
 ``grape``
     Run one pulse optimization and lower it to a schedule.
 ``table``
@@ -45,15 +51,46 @@ Step kinds, in build order:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec
 from ..utils.validation import ValidationError
 
-__all__ = ["PrepStep", "SessionPlan", "plan_specs", "expand_specs"]
+__all__ = [
+    "PrepStep",
+    "SessionPlan",
+    "plan_specs",
+    "expand_specs",
+    "grape_batching_enabled",
+    "GRAPE_BATCH_ENV",
+]
 
-#: Build order of preparation kinds (dependencies point left).
-_KIND_ORDER = ("group", "backend", "grape", "table")
+#: Environment switch of cross-point GRAPE batching (default on).
+GRAPE_BATCH_ENV = "REPRO_GRAPE_BATCH"
+
+_FALSY = {"0", "false", "no", "off"}
+
+#: Build order of preparation kinds (dependencies point left).  A
+#: ``grape_batch`` step precedes the per-point ``grape`` steps of its
+#: members so the stacked pass registers their artifacts first; the solo
+#: steps then find them already built.
+_KIND_ORDER = ("group", "backend", "grape_batch", "grape", "table")
+
+
+def grape_batching_enabled(flag: bool | None = None) -> bool:
+    """Resolve the GRAPE-batching switch from an argument and the environment.
+
+    Mirrors :func:`repro.store.results.result_cache_enabled`: batching is on
+    by default, ``flag=False`` (``Session(grape_batch=False)`` /
+    ``plan_specs(batch_grape=False)``) disables it, and
+    ``$REPRO_GRAPE_BATCH=0`` always wins so a per-point baseline can be
+    forced without touching code.
+    """
+    env = os.environ.get(GRAPE_BATCH_ENV)
+    env_ok = env is None or env.strip().lower() not in _FALSY
+    flag_ok = True if flag is None else bool(flag)
+    return env_ok and flag_ok
 
 
 @dataclass(frozen=True)
@@ -202,6 +239,73 @@ def prep_steps_for(spec: ExperimentSpec) -> list[PrepStep]:
     raise ValidationError(f"cannot plan spec of kind {getattr(spec, 'kind', '?')!r}")
 
 
+def _grape_group_key(spec: GRAPESpec) -> tuple:
+    """Model-identity key of a GRAPE spec for cross-point batching.
+
+    Two specs with equal keys share the exact same drift/control
+    Hamiltonians and slot grid: the optimizer model depends only on the
+    device calibration, the qubit tuple, the transmon level count and the
+    gate *class* (every single-qubit gate uses the same Duffing model; CX
+    uses the CR model, and its two-qubit tuple already separates it).
+    Seeds, initial-pulse shapes, amplitude bounds, stopping criteria and
+    the target gate itself may all differ — they only change initial
+    conditions and targets, which the stacked evaluator carries per point.
+    """
+    return (
+        _canonical_device(spec.device),
+        spec.qubits,
+        spec.duration_ns,
+        spec.n_ts,
+        spec.optimizer_levels,
+        spec.gate.lower() == "cx",
+    )
+
+
+def _batchable_grape(spec: GRAPESpec) -> bool:
+    """Whether a GRAPE spec is eligible for the stacked closed-system pass."""
+    return spec.method.upper() == "LBFGS" and not spec.include_decoherence
+
+
+def _grape_batch_steps(
+    steps: dict[tuple, PrepStep], consumers: dict[tuple, list[int]]
+) -> None:
+    """Group batchable ``grape`` steps into ``grape_batch`` steps (in place).
+
+    Groups of ≥2 model-identical points get one ``grape_batch`` step whose
+    payload is the member spec tuple and whose consumers are the union of
+    the members'.  The per-point ``grape`` steps stay in the plan — they
+    order *after* the batch step, find their artifact already registered,
+    and keep the per-point keys (and hence pulse-cache entries and
+    provenance) exactly as the fan-out path produces them.
+    """
+    groups: dict[tuple, list[PrepStep]] = {}
+    for step in steps.values():
+        if step.kind != "grape":
+            continue
+        spec = step.payload
+        if isinstance(spec, GRAPESpec) and _batchable_grape(spec):
+            groups.setdefault(_grape_group_key(spec), []).append(step)
+    for group_key, members in groups.items():
+        if len(members) < 2:
+            continue
+        members = sorted(members, key=lambda s: s.key)
+        key = ("grape_batch", tuple(step.key[1] for step in members))
+        specs = tuple(step.payload for step in members)
+        device, qubits = group_key[0], group_key[1]
+        steps[key] = PrepStep(
+            key=key,
+            kind="grape_batch",
+            detail=f"stack {len(members)} pulse optimizations on {device} q{list(qubits)}",
+            payload=specs,
+        )
+        merged: list[int] = []
+        for step in members:
+            for position in consumers.get(step.key, []):
+                if position not in merged:
+                    merged.append(position)
+        consumers[key] = merged
+
+
 def _device_properties_fingerprint(device: str) -> str:
     """Properties fingerprint of a named device (no backend is built)."""
     from ..devices.library import get_device
@@ -209,7 +313,7 @@ def _device_properties_fingerprint(device: str) -> str:
     return get_device(device).fingerprint()
 
 
-def plan_specs(specs, store=None, properties_fingerprint=None) -> SessionPlan:
+def plan_specs(specs, store=None, properties_fingerprint=None, batch_grape=None) -> SessionPlan:
     """Build the deduplicated preparation plan of a batch of specs.
 
     Parameters
@@ -226,6 +330,10 @@ def plan_specs(specs, store=None, properties_fingerprint=None) -> SessionPlan:
         ``device name -> properties fingerprint`` used for the cache
         probe.  Defaults to fingerprinting the library device; a session
         passes its own resolver so adopted backends are honoured.
+    batch_grape : bool, optional
+        Whether model-identical closed-system GRAPE points are grouped into
+        ``grape_batch`` steps (see :func:`grape_batching_enabled`; the
+        ``$REPRO_GRAPE_BATCH`` environment override always wins).
 
     Returns
     -------
@@ -258,6 +366,8 @@ def plan_specs(specs, store=None, properties_fingerprint=None) -> SessionPlan:
         for step in prep_steps_for(spec):
             by_key.setdefault(step.key, step)
             consumers.setdefault(step.key, []).append(position)
+    if grape_batching_enabled(batch_grape):
+        _grape_batch_steps(by_key, consumers)
     ordered = sorted(
         by_key.values(),
         key=lambda s: (_KIND_ORDER.index(s.kind), s.key),

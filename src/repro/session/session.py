@@ -50,6 +50,7 @@ computed (all randomness flows from per-spec seeds).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -88,7 +89,10 @@ class Session:
         ``num_workers`` field).
     max_concurrency : int, optional
         Maximum number of specs executing concurrently (thread fan-out on
-        top of the process pool).  Defaults to 4.
+        top of the process pool).  Defaults to ``max(4, os.cpu_count())``
+        so wide machines fan out wider while small ones keep the floor of
+        4 that overlaps I/O-ish stages (store reads, schedule lowering)
+        with compute.
     seed : optional
         Seed of backends created by the session (feeds only their
         fallback sampling RNG; every experiment draws from its spec seed,
@@ -117,6 +121,12 @@ class Session:
     shadow_seed : int, optional
         Seed of the shadow sampling RNG (deterministic sampling for
         tests; never influences experiment payloads).
+    grape_batch : bool, optional
+        Whether batch plans group model-identical closed-system GRAPE
+        points into one cross-point stacked optimization (see
+        :mod:`repro.core.grape_batch`).  Defaults to on; pass ``False`` —
+        or set ``REPRO_GRAPE_BATCH=0``, which always wins — to force the
+        per-point baseline.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -130,6 +140,7 @@ class Session:
         shadow_rate: float | None = None,
         trace_sink=None,
         shadow_seed: int | None = None,
+        grape_batch: bool | None = None,
     ):
         from ..store import resolve_store, result_cache_enabled
 
@@ -137,6 +148,7 @@ class Session:
         self.result_cache = self.store is not None and result_cache_enabled(result_cache)
         self.shadow = ShadowSampler(shadow_rate, seed=shadow_seed)
         self.trace_sink = resolve_trace_sink(trace_sink)
+        self.grape_batch = grape_batch
         self._trace_local = threading.local()
         self.num_workers = int(num_workers)
         self.seed = seed
@@ -151,8 +163,12 @@ class Session:
         self._artifacts: dict[tuple, object] = {}
         self._artifact_locks: dict[tuple, threading.Lock] = {}
         self._registry_lock = threading.Lock()
+        if max_concurrency is None:
+            # floor of 4 (never shrink below the historical default), scale
+            # up with the machine so wide hosts fan wider by default
+            max_concurrency = max(4, os.cpu_count() or 1)
         self._executor = ThreadPoolExecutor(
-            max_workers=max(1, int(max_concurrency or 4)),
+            max_workers=max(1, int(max_concurrency)),
             thread_name_prefix="repro-session",
         )
         self._closed = False
@@ -323,6 +339,7 @@ class Session:
             specs,
             store=self.store if self.result_cache else None,
             properties_fingerprint=self.properties_fingerprint_for,
+            batch_grape=self.grape_batch,
         )
 
     # ------------------------------------------------------------------ #
@@ -347,6 +364,8 @@ class Session:
             return self.backend_for(step.key[1])
         if step.kind == "grape":
             return self._grape_artifact(step.payload)
+        if step.kind == "grape_batch":
+            return self._grape_batch_artifact(step.payload)
         if step.kind == "table":
             return self._table_artifact(step.key, consumers)
         raise ValidationError(f"unknown preparation kind {step.kind!r}")
@@ -453,6 +472,62 @@ class Session:
             return optimization, schedule
 
         return self._artifact(("grape", spec.fingerprint()), build)
+
+    def _grape_batch_artifact(self, specs: Sequence[GRAPESpec]):
+        """Build a batchable GRAPE group, stacking the cold points.
+
+        Warm points — already in the artifact registry, or loadable from
+        the store's ``pulses`` namespace — resolve through the ordinary
+        per-point :meth:`_grape_artifact` path (no optimizer runs).  The
+        remaining cold points are optimized in **one** cross-point stacked
+        pass (:func:`~repro.experiments.gates.optimize_gate_pulse_batch`,
+        bit-identical to per-point runs), then each result is persisted
+        under its unchanged per-point pulse key and registered under its
+        per-point ``("grape", fingerprint)`` artifact key — so provenance,
+        cache entries and every later lookup are indistinguishable from
+        the fan-out path.
+        """
+        from ..experiments.gates import optimize_gate_pulse_batch, pulse_schedule_from_result
+
+        cold: list[GRAPESpec] = []
+        for spec in specs:
+            if self._artifacts.get(("grape", spec.fingerprint())) is not None:
+                continue
+            if self.store is not None and self.result_cache:
+                pulse_key = self.store.pulse_key(
+                    spec.cache_fingerprint(), self.properties_fingerprint_for(spec.device)
+                )
+                if self.store.load_pulse(pulse_key) is not None:
+                    # warm point: the solo path loads it, no optimizer runs
+                    self._grape_artifact(spec)
+                    continue
+            cold.append(spec)
+        if len(cold) >= 2:
+            backend = self.backend_for(cold[0].device)
+            configs = [spec.gate_config() for spec in cold]
+            start = time.perf_counter()
+            optimizations = optimize_gate_pulse_batch(backend.properties, configs)
+            batch_key = ("grape_batch", tuple(sorted(s.fingerprint() for s in cold)))
+            self.prep_timings[batch_key] = self.prep_timings.get(batch_key, 0.0) + (
+                time.perf_counter() - start
+            )
+            for spec, config, optimization in zip(cold, configs, optimizations):
+                if self.store is not None:
+                    pulse_key = self.store.pulse_key(
+                        spec.cache_fingerprint(), self.properties_fingerprint_for(spec.device)
+                    )
+                    self.store.save_pulse(
+                        pulse_key,
+                        optimization,
+                        metadata={"device": _canonical(spec.device), "gate": spec.gate},
+                    )
+                schedule = pulse_schedule_from_result(backend.properties, config, optimization)
+                self._artifact(
+                    ("grape", spec.fingerprint()),
+                    lambda pair=(optimization, schedule): pair,
+                )
+        # a single cold point (or none) just runs the solo path below
+        return [self._grape_artifact(spec) for spec in specs]
 
     def _build_backend(self, device: str):
         from ..backend.backend import PulseBackend

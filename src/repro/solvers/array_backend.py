@@ -1,0 +1,291 @@
+"""Array-API seam under the batched solver kernels.
+
+The batched hot-path kernels (:func:`~repro.solvers.expm_utils.expm_batch`,
+:func:`~repro.solvers.expm_utils.expm_hermitian_batch`,
+:func:`~repro.solvers.expm_utils.expm_frechet_batch`,
+:func:`~repro.solvers.propagator.chain_propagator_product`) are written
+against a tiny backend interface instead of the ``numpy`` module directly, so
+the same code can run on
+
+* **numpy** — the default; the operations are literally ``np.linalg.eigh`` /
+  ``np.matmul`` / ``np.linalg.solve``, so results are **bit-identical** to
+  the pre-seam kernels,
+* **cupy** — every stacked operation runs on the GPU; arrays move to the
+  device on kernel entry and back to the host on kernel exit (device→host
+  conversion is confined to this seam — callers always see ``np.ndarray``),
+* **numba** — the per-slice eigendecomposition loop is JIT-compiled
+  (``@njit``) while everything else stays numpy (stacked ``matmul``/``solve``
+  already run in BLAS/LAPACK, where a JIT cannot help).
+
+Selection is by the ``REPRO_ARRAY_BACKEND`` environment variable
+(``numpy`` | ``cupy`` | ``numba``).  Every non-numpy choice is **capability
+probed** at first use — the module must import, a device must answer, and a
+tiny eigh/solve round-trip must agree with numpy — and any failure (including
+an unknown backend name) falls back to numpy with a :class:`RuntimeWarning`
+rather than an error, so a mis-deployed worker degrades to correct-but-slower
+instead of crashing jobs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_ENV",
+    "KNOWN_BACKENDS",
+    "active_backend",
+    "resolve_backend",
+    "reset_backend_cache",
+]
+
+#: Environment variable naming the backend the batched kernels should use.
+BACKEND_ENV = "REPRO_ARRAY_BACKEND"
+
+#: Backend names :func:`resolve_backend` recognizes.
+KNOWN_BACKENDS = ("numpy", "cupy", "numba")
+
+
+class ArrayBackend:
+    """The numpy backend — and the interface every backend implements.
+
+    Attributes
+    ----------
+    name : str
+        The backend's registry name.
+    xp : module
+        The array-API module elementwise/structural operations run through
+        (``numpy`` here and for the numba backend, ``cupy`` on the GPU).
+
+    Notes
+    -----
+    The numpy implementation is deliberately nothing but aliases: kernels
+    routed through it execute the exact same NumPy calls as before the seam
+    existed, so their results are bit-identical by construction (asserted by
+    ``tests/test_array_backend.py``).
+    """
+
+    name = "numpy"
+    xp = np
+
+    def asarray(self, array: np.ndarray):
+        """Move a host array onto the backend's device (no-op on numpy)."""
+        return array
+
+    def to_host(self, array) -> np.ndarray:
+        """Move a backend array back to a host ``np.ndarray`` (no-op here)."""
+        return array
+
+    def eigh(self, h_stack):
+        """Batched Hermitian eigendecomposition of a ``(..., d, d)`` stack."""
+        return np.linalg.eigh(h_stack)
+
+    def matmul(self, a, b):
+        """Stacked matrix product."""
+        return np.matmul(a, b)
+
+    def solve(self, a, b):
+        """Stacked linear solve ``a @ x = b``."""
+        return np.linalg.solve(a, b)
+
+
+class CupyBackend(ArrayBackend):
+    """GPU backend: the whole kernel body runs on device via ``cupy``.
+
+    Construction fails (and :func:`resolve_backend` falls back to numpy)
+    when cupy is not importable or no CUDA device answers.
+    """
+
+    name = "cupy"
+
+    def __init__(self):
+        import cupy
+
+        if cupy.cuda.runtime.getDeviceCount() < 1:  # pragma: no cover - needs GPU
+            raise RuntimeError("no CUDA device available")
+        self.xp = cupy
+
+    def asarray(self, array):  # pragma: no cover - needs GPU
+        """Upload a host array to the device."""
+        return self.xp.asarray(array)
+
+    def to_host(self, array) -> np.ndarray:  # pragma: no cover - needs GPU
+        """Download a device array to the host."""
+        return self.xp.asnumpy(array)
+
+    def eigh(self, h_stack):  # pragma: no cover - needs GPU
+        """Batched Hermitian eigendecomposition on the device."""
+        return self.xp.linalg.eigh(h_stack)
+
+    def matmul(self, a, b):  # pragma: no cover - needs GPU
+        """Stacked matrix product on the device."""
+        return self.xp.matmul(a, b)
+
+    def solve(self, a, b):  # pragma: no cover - needs GPU
+        """Stacked linear solve on the device."""
+        return self.xp.linalg.solve(a, b)
+
+
+class NumbaBackend(ArrayBackend):
+    """JIT backend: the per-slice ``eigh`` loop is compiled with numba.
+
+    Only the eigendecomposition is compiled — stacked ``matmul``/``solve``
+    already dispatch to BLAS/LAPACK once per stack, which a JIT cannot beat.
+    The kernel is compiled lazily on first use; a compilation failure warns
+    once and this backend then behaves exactly like numpy.
+    """
+
+    name = "numba"
+
+    #: Sentinel distinguishing "not compiled yet" from "compilation failed".
+    _UNCOMPILED = object()
+
+    def __init__(self):
+        import numba  # noqa: F401 - probe the import at construction
+
+        self._eigh_kernel = self._UNCOMPILED
+
+    def _compiled_eigh(self):
+        """Compile (once) and return the per-slice eigh loop, or None."""
+        if self._eigh_kernel is self._UNCOMPILED:
+            try:
+                from numba import njit
+
+                @njit(cache=False)
+                def eigh_loop(stack):
+                    n, d, _ = stack.shape
+                    evals = np.empty((n, d), dtype=np.float64)
+                    evecs = np.empty((n, d, d), dtype=np.complex128)
+                    for k in range(n):
+                        w, v = np.linalg.eigh(stack[k])
+                        evals[k] = w
+                        evecs[k] = v
+                    return evals, evecs
+
+                eigh_loop(np.eye(2, dtype=np.complex128)[None])  # force compile
+                self._eigh_kernel = eigh_loop
+            except Exception as exc:  # pragma: no cover - depends on numba build
+                warnings.warn(
+                    f"numba eigh kernel failed to compile ({exc}); "
+                    "the numba backend will run its numpy fallback",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._eigh_kernel = None
+        return self._eigh_kernel
+
+    def eigh(self, h_stack):
+        """Batched Hermitian eigendecomposition through the compiled loop."""
+        kernel = self._compiled_eigh()
+        h = np.asarray(h_stack, dtype=np.complex128)
+        if kernel is None or h.ndim < 3 or h.size == 0:
+            return np.linalg.eigh(h)
+        d = h.shape[-1]
+        flat = np.ascontiguousarray(h).reshape(-1, d, d)
+        evals, evecs = kernel(flat)
+        return evals.reshape(h.shape[:-1]), evecs.reshape(h.shape)
+
+
+_FACTORIES = {
+    "numpy": ArrayBackend,
+    "cupy": CupyBackend,
+    "numba": NumbaBackend,
+}
+
+_NUMPY = ArrayBackend()
+_cache_lock = threading.Lock()
+_resolved: dict[str, ArrayBackend] = {}
+
+
+def _probe(backend: ArrayBackend) -> None:
+    """Sanity-check a backend against numpy on a tiny workload.
+
+    Raises on any disagreement beyond float tolerance — the caller treats
+    that as "backend unavailable" and falls back to numpy.
+    """
+    rng = np.random.default_rng(0)
+    m = rng.normal(size=(3, 4, 4)) + 1j * rng.normal(size=(3, 4, 4))
+    herm = (m + np.conj(np.swapaxes(m, -1, -2))) / 2.0
+    evals, evecs = backend.eigh(backend.asarray(herm))
+    evals, evecs = backend.to_host(evals), backend.to_host(evecs)
+    rebuilt = np.matmul(evecs * evals[..., None, :], np.conj(np.swapaxes(evecs, -1, -2)))
+    if not np.allclose(rebuilt, herm, atol=1e-10):
+        raise RuntimeError("backend eigh round-trip disagrees with the input")
+    rhs = backend.asarray(np.eye(4, dtype=complex)[None].repeat(3, axis=0))
+    solved = backend.to_host(backend.solve(backend.asarray(herm + 5j * np.eye(4)), rhs))
+    if not np.allclose(
+        np.linalg.solve(herm + 5j * np.eye(4), np.asarray(rhs)), solved, atol=1e-10
+    ):
+        raise RuntimeError("backend solve disagrees with numpy")
+
+
+def resolve_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve a backend by name, probing capability; numpy on any failure.
+
+    Parameters
+    ----------
+    name : str, optional
+        Backend to resolve; defaults to ``$REPRO_ARRAY_BACKEND`` (and to
+        ``"numpy"`` when that is unset/empty).
+
+    Returns
+    -------
+    ArrayBackend
+        The requested backend when it constructs and passes the probe,
+        otherwise the numpy backend — with a :class:`RuntimeWarning` naming
+        the reason (unknown name, missing module, failed probe).
+    """
+    requested = name if name is not None else os.environ.get(BACKEND_ENV, "")
+    requested = requested.strip().lower() or "numpy"
+    if requested == "numpy":
+        return _NUMPY
+    factory = _FACTORIES.get(requested)
+    if factory is None:
+        warnings.warn(
+            f"unknown array backend {requested!r} (known: {', '.join(KNOWN_BACKENDS)});"
+            " falling back to numpy",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _NUMPY
+    try:
+        backend = factory()
+        _probe(backend)
+        return backend
+    except Exception as exc:
+        warnings.warn(
+            f"array backend {requested!r} unavailable ({type(exc).__name__}: {exc});"
+            " falling back to numpy",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _NUMPY
+
+
+def active_backend() -> ArrayBackend:
+    """The backend the kernels should use right now (env-var driven, cached).
+
+    The resolution (including its capability probe and any fallback warning)
+    runs once per distinct ``$REPRO_ARRAY_BACKEND`` value per process; after
+    that this is a dictionary lookup, cheap enough for every kernel call to
+    re-check the environment.
+    """
+    key = os.environ.get(BACKEND_ENV, "").strip().lower() or "numpy"
+    backend = _resolved.get(key)
+    if backend is None:
+        with _cache_lock:
+            backend = _resolved.get(key)
+            if backend is None:
+                backend = resolve_backend(key)
+                _resolved[key] = backend
+    return backend
+
+
+def reset_backend_cache() -> None:
+    """Drop memoized resolutions (tests flip ``REPRO_ARRAY_BACKEND`` at will)."""
+    with _cache_lock:
+        _resolved.clear()
