@@ -34,6 +34,13 @@ fresh session over the same store root.  The warm replay must be a pure
 cache hit — zero prep builds, zero executions, ≥20× faster than cold — and
 its payload must be bit-identical to the cold run.
 
+``test_protocol_zoo`` benchmarks the protocol zoo's engine-equivalence
+contract on linear XEB: the same random-circuit workload is scored once on
+the ``channels`` engine (composing the warmed per-Clifford superoperator
+table) and once on the per-circuit ``circuits`` reference.  The per-depth
+fidelities and fitted layer fidelity must agree to ≤ 1e-6, and the
+channels path must be ≥ 5× faster (``protocol_zoo_gain``).
+
 ``test_grape_sweep_batch`` benchmarks cross-point batched GRAPE: a sweep
 over seeds × initial-pulse scales of one gate model is run once with the
 planner's per-point fan-out (``grape_batch=False``) and once with the
@@ -372,6 +379,61 @@ def test_rb_store_cold_vs_warm(benchmark, save_results, bench_metrics, tmp_path)
         "warm_setup_wall_clock_s": data["warm_setup_wall_clock_s"],
     }
     save_results("rb_store", data)
+
+
+# --------------------------------------------------------------------------- #
+# protocol zoo: XEB on the channels engine vs the per-circuit reference
+# --------------------------------------------------------------------------- #
+def _protocol_zoo_xeb() -> dict:
+    """Linear XEB scored on both engines from one warmed backend."""
+    from repro.benchmarking.xeb import run_xeb
+
+    if SMOKE:
+        args = dict(depths=(1, 2, 4), n_circuits=4, shots=100, seed=1)
+    else:
+        args = dict(depths=(1, 2, 4, 8, 16), n_circuits=16, shots=400, seed=1)
+    backend = PulseBackend(fake_montreal(), calibrated_qubits=[0, 1], seed=2022)
+    # warm the gate-channel and Clifford-table caches outside both timed
+    # legs, so the gain isolates the engine difference (compose cached
+    # superoperators vs transpile-and-compose every circuit)
+    run_xeb(backend, [0], engine="channels", **args)
+
+    start = time.perf_counter()
+    fast = run_xeb(backend, [0], engine="channels", **args)
+    wall_channels = time.perf_counter() - start
+    start = time.perf_counter()
+    slow = run_xeb(backend, [0], engine="circuits", **args)
+    wall_circuits = time.perf_counter() - start
+    return {
+        "n_circuits": len(args["depths"]) * args["n_circuits"],
+        "wall_clock_channels_s": wall_channels,
+        "wall_clock_circuits_s": wall_circuits,
+        "protocol_zoo_gain": wall_circuits / wall_channels,
+        "layer_fidelity_channels": fast.layer_fidelity,
+        "layer_fidelity_circuits": slow.layer_fidelity,
+        "xeb_abs_diff": max(
+            float(np.max(np.abs(fast.fidelity - slow.fidelity))),
+            abs(fast.layer_fidelity - slow.layer_fidelity),
+        ),
+    }
+
+
+def test_protocol_zoo(benchmark, save_results, bench_metrics):
+    data = benchmark.pedantic(_protocol_zoo_xeb, rounds=1, iterations=1)
+    # correctness: both engines score the random circuits identically
+    assert data["xeb_abs_diff"] <= 1e-6
+    if not SMOKE:
+        # acceptance: the cached-superoperator path must be a clear win
+        assert data["protocol_zoo_gain"] >= 5.0, (
+            f"protocol-zoo engine gain regressed: {data['protocol_zoo_gain']:.1f}x"
+        )
+    bench_metrics["protocol_zoo"] = {
+        "wall_clock_channels_s": data["wall_clock_channels_s"],
+        "wall_clock_circuits_s": data["wall_clock_circuits_s"],
+        "protocol_zoo_gain": data["protocol_zoo_gain"],
+        "xeb_abs_diff": data["xeb_abs_diff"],
+    }
+    save_results("protocol_zoo", data)
 
 
 # --------------------------------------------------------------------------- #

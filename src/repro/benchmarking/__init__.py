@@ -25,18 +25,39 @@ calibrated gates.  This package implements the full stack from scratch:
   unified content-addressed artifact store (:mod:`repro.store`): channel
   tables (memory-mapped, shared read-only across worker processes), group
   enumerations, persisted GRAPE pulses and the result cache, with a
-  ``store="auto" | path | None`` knob on the experiments.
+  ``store="auto" | path | None`` knob on the experiments,
+* the protocol zoo on the same channels engine —
+  :mod:`~repro.benchmarking.xeb` (linear cross-entropy benchmarking),
+  :mod:`~repro.benchmarking.purity` (purity RB / unitarity estimation) and
+  :mod:`~repro.benchmarking.cycle` (cycle benchmarking under random Pauli
+  twirls), each with a ``"circuits"`` reference path asserted equivalent
+  to the channels path.
 """
 
 from .clifford import CliffordGroup, clifford_group, CliffordElement
+from .cycle import CycleBenchResult, cycle_sequences, pauli_indices, run_cycle_benchmark
 from .engine import CliffordChannelTable, clifford_channel_table, used_element_indices
 from .fitting import fit_rb_decay, RBDecayFit
+from .purity import PurityRBResult, purity_rb_sequences, run_purity_rb, state_purity
 from .rb import RBExperiment, RBResult, StandardRB, execute_rb_sequences, rb_circuits, rb_sequences
 from .irb import InterleavedRB, InterleavedRBExperiment, InterleavedRBResult
 from .store import CliffordChannelStore, ChannelTableHandle, default_store_root, resolve_store
 from .tableau import CliffordTableauIndex, Tableau
+from .xeb import XEBResult, linear_xeb_fidelities, run_xeb, xeb_sequences
 
 __all__ = [
+    "CycleBenchResult",
+    "PurityRBResult",
+    "XEBResult",
+    "cycle_sequences",
+    "pauli_indices",
+    "run_cycle_benchmark",
+    "purity_rb_sequences",
+    "run_purity_rb",
+    "state_purity",
+    "linear_xeb_fidelities",
+    "run_xeb",
+    "xeb_sequences",
     "CliffordGroup",
     "CliffordElement",
     "CliffordChannelTable",

@@ -70,6 +70,25 @@ class OptimResult:
         """Whether the optimizer reported reaching the target error."""
         return "target" in self.termination_reason.lower()
 
+    def summary(self) -> dict[str, Any]:
+        """Uniform JSON-friendly digest across every optimizer method.
+
+        The same keys come back whether the result was produced by LBFGS,
+        GRAPE, SPSA, CRAB, KROTOV or GOAT — the adaptation layer the
+        optimizer-comparison driver and the session's ``optimizer`` spec
+        payloads share.
+        """
+        return {
+            "method": self.method,
+            "fid_err": float(self.fid_err),
+            "fidelity": float(self.fidelity),
+            "n_iter": int(self.n_iter),
+            "n_fun_evals": int(self.n_fun_evals),
+            "wall_time": float(self.wall_time),
+            "termination_reason": self.termination_reason,
+            "converged": bool(self.converged),
+        }
+
     def __repr__(self) -> str:
         return (
             f"OptimResult(method={self.method!r}, fid_err={self.fid_err:.3e}, "

@@ -21,6 +21,7 @@ paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import re
 from typing import Callable
 
 from .coupling import heavy_hex_falcon27, linear_coupling, CouplingMap
@@ -33,6 +34,7 @@ __all__ = [
     "fake_rome",
     "get_device",
     "canonical_device_name",
+    "drift_device_name",
     "DEVICE_REGISTRY",
 ]
 
@@ -263,9 +265,48 @@ DEVICE_REGISTRY: dict[str, Callable[[], BackendProperties]] = {
 }
 
 
+#: Device-name suffix selecting a drifted calibration snapshot of a base
+#: device: ``<base>@drift<seed>d<day>`` (e.g. ``"montreal@drift7d3"``).
+_DRIFT_NAME_RE = re.compile(r"^(?P<base>.+)@drift(?P<seed>\d+)d(?P<day>\d+)$")
+
+
+def drift_device_name(base: str, seed: int, day: int) -> str:
+    """Name of the day-``day`` drifted snapshot of device ``base``.
+
+    The name resolves through :func:`get_device` via
+    :class:`repro.devices.drift.CalibrationDriftModel` — deterministic in
+    ``seed`` and ``day``, so drifted snapshots are cacheable device
+    identities exactly like the nominal library devices.
+    """
+    canonical = canonical_device_name(base)
+    if day < 0 or seed < 0:
+        raise ValueError(f"drift seed/day must be >= 0, got seed={seed}, day={day}")
+    return f"{canonical}@drift{int(seed)}d{int(day)}"
+
+
+def _parse_drift_name(key: str) -> tuple[str, int, int] | None:
+    """Split a lowercase device key into (base, seed, day), or None."""
+    match = _DRIFT_NAME_RE.match(key)
+    if match is None:
+        return None
+    return match.group("base"), int(match.group("seed")), int(match.group("day"))
+
+
 def get_device(name: str) -> BackendProperties:
-    """Look up a fake device by (any reasonable form of) its name."""
+    """Look up a fake device by (any reasonable form of) its name.
+
+    A ``<base>@drift<seed>d<day>`` name resolves the base device and
+    applies :class:`repro.devices.drift.CalibrationDriftModel` for the
+    given seed and day (day 0 reproduces the nominal properties exactly).
+    """
     key = name.strip().lower()
+    drift = _parse_drift_name(key)
+    if drift is not None:
+        from .drift import CalibrationDriftModel
+
+        base, seed, day = drift
+        nominal = get_device(base)
+        return CalibrationDriftModel(nominal=nominal, seed=seed).properties_on_day(day)
     if key not in DEVICE_REGISTRY:
         raise KeyError(
             f"unknown device {name!r}; available: {sorted(set(DEVICE_REGISTRY))}"
@@ -280,9 +321,15 @@ def canonical_device_name(name: str) -> str:
     ``"ibmq_montreal"``, ``"fake_montreal"`` and ``"Montreal"`` all return
     ``"montreal"``), derived from the registry itself so new aliases never
     need a second canonicalization rule.  The session planner keys shared
-    backends and channel tables on this name.
+    backends and channel tables on this name.  Drifted names canonicalize
+    their base and keep the normalized ``@drift`` suffix — two snapshots
+    of one device are *distinct* calibrations, never shared.
     """
     key = name.strip().lower()
+    drift = _parse_drift_name(key)
+    if drift is not None:
+        base, seed, day = drift
+        return f"{canonical_device_name(base)}@drift{seed}d{day}"
     if key not in DEVICE_REGISTRY:
         raise KeyError(
             f"unknown device {name!r}; available: {sorted(set(DEVICE_REGISTRY))}"

@@ -25,8 +25,8 @@ from .gates import (
     gate_histogram,
 )
 from .table1 import Table1Row, generate_table1, format_table1, table1_row_specs, TABLE1_PAPER_VALUES
-from .drift import DriftStudyResult, run_drift_study
-from .optimizers import OptimizerComparisonResult, compare_optimizers
+from .drift import DriftStudyResult, drift_study_spec, run_drift_study
+from .optimizers import OptimizerComparisonResult, compare_optimizers, optimizer_comparison_specs
 
 __all__ = [
     "GateExperimentConfig",
@@ -41,7 +41,9 @@ __all__ = [
     "table1_row_specs",
     "TABLE1_PAPER_VALUES",
     "DriftStudyResult",
+    "drift_study_spec",
     "run_drift_study",
     "OptimizerComparisonResult",
     "compare_optimizers",
+    "optimizer_comparison_specs",
 ]

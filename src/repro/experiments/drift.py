@@ -31,9 +31,10 @@ from ..devices.library import fake_montreal
 from ..devices.properties import BackendProperties
 from ..qobj.gates import standard_gate_unitary
 from ..qobj.metrics import average_gate_fidelity
+from ..session.specs import DriftStudySpec, GRAPESpec
 from ..utils.validation import ValidationError
 
-__all__ = ["DriftStudyResult", "run_drift_study"]
+__all__ = ["DriftStudyResult", "drift_study_spec", "run_drift_study"]
 
 
 @dataclass
@@ -66,6 +67,38 @@ class DriftStudyResult:
             out["irb_std_once"] = float(np.std(self.irb_error_once))
             out["irb_std_daily"] = float(np.std(self.irb_error_daily))
         return out
+
+
+def drift_study_spec(
+    gate: str = "x",
+    n_days: int = 5,
+    device: str = "montreal",
+    duration_ns: float = 105.0,
+    n_ts: int = 12,
+    drift_seed: int = 7,
+    seed: int = 2022,
+) -> DriftStudySpec:
+    """The drift study as a container spec over per-day device snapshots.
+
+    Each child is the base :class:`~repro.session.specs.GRAPESpec`
+    re-targeted at that day's drifted calibration snapshot
+    (``<device>@drift<seed>d<day>``, resolved by the device library), so
+    a session re-optimizes the pulse against every day's *reported*
+    calibration — the paper's "optimize daily" strategy — with per-day
+    result caching: day 0 is the nominal device and shares its cache
+    entry with a standalone run of the base spec, and a re-submitted
+    study replays every day from the store without optimizing anything.
+    """
+    base = GRAPESpec(
+        device=device,
+        gate=gate.lower(),
+        qubits=(0,),
+        duration_ns=float(duration_ns),
+        n_ts=int(n_ts),
+        include_decoherence=False,
+        seed=seed,
+    )
+    return DriftStudySpec(base=base, n_days=int(n_days), drift_seed=int(drift_seed))
 
 
 def run_drift_study(

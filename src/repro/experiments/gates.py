@@ -220,6 +220,7 @@ def _run_gate_optimization(
     config: GateExperimentConfig,
     problem: _GateProblem,
     cost_grad=None,
+    method_options: dict | None = None,
 ) -> OptimResult:
     """Run :func:`optimize_pulse_unitary` on a prepared :class:`_GateProblem`."""
     return optimize_pulse_unitary(
@@ -240,12 +241,14 @@ def _run_gate_optimization(
         subspace_dim=problem.subspace_dim,
         seed=config.seed,
         cost_grad=cost_grad,
+        **(method_options or {}),
     )
 
 
 def optimize_gate_pulse(
     properties: BackendProperties,
     config: GateExperimentConfig,
+    method_options: dict | None = None,
 ) -> OptimResult:
     """Run the paper's pulse optimization for one gate on one device.
 
@@ -253,9 +256,13 @@ def optimize_gate_pulse(
     terms built from the backend's reported data; CNOT uses the Eq. (1) CR
     model with the XI/IX/ZX control terms and absorbs the final virtual-Z on
     the control qubit (free on hardware) into the target, exactly as the
-    echoed-CR calibration does.
+    echoed-CR calibration does.  ``method_options`` forwards method-specific
+    optimizer options (see ``OPTIMIZER_METHOD_OPTIONS``) to
+    :func:`~repro.core.pulseoptim.optimize_pulse_unitary`.
     """
-    return _run_gate_optimization(config, _gate_problem(properties, config))
+    return _run_gate_optimization(
+        config, _gate_problem(properties, config), method_options=method_options
+    )
 
 
 def _batchable_problems(configs: Sequence[GateExperimentConfig], problems: Sequence[_GateProblem]) -> bool:

@@ -5,9 +5,11 @@ this package is the submission surface that runs such suites as first-class
 workloads instead of ad-hoc driver functions:
 
 * :mod:`~repro.session.specs` — frozen, serializable experiment
-  specifications (:class:`GRAPESpec`, :class:`RBSpec`, :class:`IRBSpec`,
-  :class:`SweepSpec`) with ``to_dict``/``from_dict`` round-trips and
-  content fingerprints,
+  specifications (:class:`GRAPESpec`, :class:`OptimizerSpec`,
+  :class:`RBSpec`, :class:`IRBSpec`, :class:`XEBSpec`,
+  :class:`PurityRBSpec`, :class:`CycleBenchSpec`, and the containers
+  :class:`SweepSpec` / :class:`DriftStudySpec`) with
+  ``to_dict``/``from_dict`` round-trips and content fingerprints,
 * :mod:`~repro.session.planner` — the pure cross-experiment planner that
   fingerprints each spec's preparation needs and deduplicates shared
   artifacts (Clifford groups, device backends, GRAPE pulses, channel
@@ -22,23 +24,50 @@ See ``docs/sessions.md`` for the full API guide and the migration notes
 from the legacy figure drivers.
 """
 
-from .planner import PrepStep, SessionPlan, expand_specs, plan_specs, prep_steps_for
+from .planner import (
+    PrepStep,
+    SessionPlan,
+    expand_specs,
+    plan_specs,
+    prep_steps_for,
+    register_spec_planner,
+)
 from .results import ExperimentResult
 from .session import Session
-from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec, spec_from_dict
+from .specs import (
+    CycleBenchSpec,
+    DriftStudySpec,
+    ExperimentSpec,
+    GRAPESpec,
+    IRBSpec,
+    OptimizerSpec,
+    PurityRBSpec,
+    RBSpec,
+    SweepSpec,
+    XEBSpec,
+    registered_spec_kinds,
+    spec_from_dict,
+)
 
 __all__ = [
     "ExperimentSpec",
     "GRAPESpec",
+    "OptimizerSpec",
     "RBSpec",
     "IRBSpec",
+    "XEBSpec",
+    "PurityRBSpec",
+    "CycleBenchSpec",
     "SweepSpec",
+    "DriftStudySpec",
     "spec_from_dict",
+    "registered_spec_kinds",
     "ExperimentResult",
     "Session",
     "SessionPlan",
     "PrepStep",
     "plan_specs",
     "prep_steps_for",
+    "register_spec_planner",
     "expand_specs",
 ]

@@ -54,7 +54,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec
+from .specs import ExperimentSpec, GRAPESpec
 from ..utils.validation import ValidationError
 
 __all__ = [
@@ -62,6 +62,8 @@ __all__ = [
     "SessionPlan",
     "plan_specs",
     "expand_specs",
+    "prep_steps_for",
+    "register_spec_planner",
     "grape_batching_enabled",
     "GRAPE_BATCH_ENV",
 ]
@@ -167,76 +169,129 @@ def _canonical_device(device: str) -> str:
 
 
 def expand_specs(specs) -> list[ExperimentSpec]:
-    """Flatten sweeps into concrete specs (non-sweeps pass through)."""
+    """Flatten containers (sweeps, drift studies) into concrete specs.
+
+    Recursive, so a container whose ``expand()`` ever yields another
+    container still flattens fully; non-containers pass through.
+    """
     flat: list[ExperimentSpec] = []
     for spec in specs:
-        if isinstance(spec, SweepSpec):
-            flat.extend(spec.expand())
+        if spec.is_container:
+            flat.extend(expand_specs(spec.expand()))
         else:
             flat.append(spec)
     return flat
 
 
+#: Per-kind prep planners (``spec.kind`` → planner callable); filled by
+#: :func:`register_spec_planner`.  New spec kinds plug in here and inherit
+#: dedup, cache-aware planning and session execution without touching
+#: :func:`plan_specs`.
+_SPEC_PLANNERS: dict[str, object] = {}
+
+
+def register_spec_planner(*kinds: str):
+    """Decorator registering a planner callable for one or more spec kinds."""
+
+    def decorator(fn):
+        for kind in kinds:
+            _SPEC_PLANNERS[kind] = fn
+        return fn
+
+    return decorator
+
+
 def prep_steps_for(spec: ExperimentSpec) -> list[PrepStep]:
     """The preparation steps one concrete spec needs, in build order."""
-    if isinstance(spec, SweepSpec):
-        raise ValidationError("expand sweeps before planning (see expand_specs)")
+    if spec.is_container:
+        raise ValidationError("expand containers before planning (see expand_specs)")
+    planner = _SPEC_PLANNERS.get(spec.kind)
+    if planner is None:
+        raise ValidationError(
+            f"cannot plan spec of kind {getattr(spec, 'kind', '?')!r}; "
+            f"registered: {sorted(_SPEC_PLANNERS)}"
+        )
+    return planner(spec)
+
+
+def _backend_step(device: str) -> PrepStep:
+    return PrepStep(
+        key=("backend", device), kind="backend", detail=f"PulseBackend({device})"
+    )
+
+
+def _pulse_step(spec: ExperimentSpec) -> PrepStep:
+    """The shared ``grape`` step of a pulse spec, keyed canonically.
+
+    Keys on :meth:`canonical_pulse_spec`'s fingerprint, so an lbfgs
+    ``OptimizerSpec`` and its equivalent legacy ``GRAPESpec`` share one
+    optimization artifact — the thin-alias contract.
+    """
+    canonical = spec.canonical_pulse_spec()
+    device = _canonical_device(canonical.device)
+    method = getattr(canonical, "method", "LBFGS")
+    return PrepStep(
+        key=("grape", canonical.fingerprint()),
+        kind="grape",
+        detail=(
+            f"optimize {canonical.gate} ({canonical.duration_ns:g} ns, "
+            f"{str(method).lower()}) on {device}"
+        ),
+        payload=canonical,
+    )
+
+
+@register_spec_planner("grape", "optimizer")
+def _plan_pulse_spec(spec) -> list[PrepStep]:
     device = _canonical_device(spec.device)
+    return [_backend_step(device), _pulse_step(spec)]
+
+
+@register_spec_planner("rb", "irb")
+def _plan_rb_spec(spec) -> list[PrepStep]:
+    device = _canonical_device(spec.device)
+    n_qubits = len(spec.qubits)
     steps: list[PrepStep] = [
-        PrepStep(key=("backend", device), kind="backend", detail=f"PulseBackend({device})")
+        PrepStep(
+            key=("group", n_qubits),
+            kind="group",
+            detail=f"{n_qubits}-qubit Clifford group",
+        ),
+        _backend_step(device),
     ]
-    if isinstance(spec, GRAPESpec):
-        steps.append(
-            PrepStep(
-                key=("grape", spec.fingerprint()),
-                kind="grape",
-                detail=f"optimize {spec.gate} ({spec.duration_ns:g} ns) on {device}",
-                payload=spec,
-            )
+    calibration = getattr(spec, "calibration", None)
+    if calibration is not None:
+        calibration_device = _canonical_device(calibration.device)
+        if calibration_device != device:
+            steps.append(_backend_step(calibration_device))
+        steps.append(_pulse_step(calibration))
+    steps.append(
+        PrepStep(
+            key=("table", device, spec.qubits),
+            kind="table",
+            detail=f"Clifford channel table {device} q{list(spec.qubits)}",
         )
-        return steps
-    if isinstance(spec, (RBSpec, IRBSpec)):
-        n_qubits = len(spec.qubits)
-        steps.insert(
-            0,
-            PrepStep(
-                key=("group", n_qubits),
-                kind="group",
-                detail=f"{n_qubits}-qubit Clifford group",
-            ),
-        )
-        calibration = getattr(spec, "calibration", None)
-        if calibration is not None:
-            calibration_device = _canonical_device(calibration.device)
-            if calibration_device != device:
-                steps.append(
-                    PrepStep(
-                        key=("backend", calibration_device),
-                        kind="backend",
-                        detail=f"PulseBackend({calibration_device})",
-                    )
-                )
-            steps.append(
-                PrepStep(
-                    key=("grape", calibration.fingerprint()),
-                    kind="grape",
-                    detail=(
-                        f"optimize {calibration.gate} "
-                        f"({calibration.duration_ns:g} ns) on "
-                        f"{_canonical_device(calibration.device)}"
-                    ),
-                    payload=calibration,
-                )
-            )
-        steps.append(
-            PrepStep(
-                key=("table", device, spec.qubits),
-                kind="table",
-                detail=f"Clifford channel table {device} q{list(spec.qubits)}",
-            )
-        )
-        return steps
-    raise ValidationError(f"cannot plan spec of kind {getattr(spec, 'kind', '?')!r}")
+    )
+    return steps
+
+
+@register_spec_planner("xeb", "purity_rb", "cycle")
+def _plan_protocol_spec(spec) -> list[PrepStep]:
+    device = _canonical_device(spec.device)
+    n_qubits = len(spec.qubits)
+    return [
+        PrepStep(
+            key=("group", n_qubits),
+            kind="group",
+            detail=f"{n_qubits}-qubit Clifford group",
+        ),
+        _backend_step(device),
+        PrepStep(
+            key=("table", device, spec.qubits),
+            kind="table",
+            detail=f"Clifford channel table {device} q{list(spec.qubits)}",
+        ),
+    ]
 
 
 def _grape_group_key(spec: GRAPESpec) -> tuple:

@@ -61,7 +61,7 @@ import numpy as np
 
 from .planner import SessionPlan, plan_specs, prep_steps_for
 from .results import ExperimentResult
-from .specs import ExperimentSpec, GRAPESpec, IRBSpec, RBSpec, SweepSpec
+from .specs import ExperimentSpec, GRAPESpec, OptimizerSpec
 from ..obs import ShadowSampler, Trace, resolve_trace_sink
 from ..utils.validation import ValidationError
 
@@ -431,8 +431,14 @@ class Session:
 
         return self._artifact(("group", int(n_qubits)), build)
 
-    def _grape_artifact(self, spec: GRAPESpec):
-        """(OptimResult, Schedule) of a GRAPE spec, built exactly once.
+    def _grape_artifact(self, spec):
+        """(OptimResult, Schedule) of a pulse spec, built exactly once.
+
+        Accepts a :class:`GRAPESpec` or an :class:`OptimizerSpec`; the
+        spec is normalized through ``canonical_pulse_spec()`` first, so
+        ``OptimizerSpec(method="lbfgs")`` and the equivalent legacy
+        ``GRAPESpec`` resolve to the **same** artifact key and pulse-cache
+        entry (the thin-alias contract).
 
         With a store attached, the optimization outcome is persisted to
         the ``pulses`` namespace keyed by the spec fingerprint × the
@@ -444,8 +450,9 @@ class Session:
         ``result_cache=False`` baseline run warms the pulse store for
         subsequent sessions.
         """
-        if not isinstance(spec, GRAPESpec):
-            raise ValidationError("GRAPE preparation expects a GRAPESpec")
+        if not isinstance(spec, (GRAPESpec, OptimizerSpec)):
+            raise ValidationError("pulse preparation expects a GRAPESpec or OptimizerSpec")
+        spec = spec.canonical_pulse_spec()
 
         def build():
             from ..experiments.gates import optimize_gate_pulse, pulse_schedule_from_result
@@ -461,7 +468,9 @@ class Session:
                 if self.result_cache:
                     optimization = self.store.load_pulse(pulse_key)
             if optimization is None:
-                optimization = optimize_gate_pulse(backend.properties, config)
+                optimization = optimize_gate_pulse(
+                    backend.properties, config, method_options=spec.method_options() or None
+                )
                 if pulse_key is not None:
                     self.store.save_pulse(
                         pulse_key,
@@ -571,17 +580,25 @@ class Session:
         and cheap — tableau-composed indices, no circuits) with the
         session's store attached, so the group enumeration resolves
         through the same persistence path as every other preparation.
+        Every protocol that replays the channel table — RB, IRB, XEB,
+        purity RB and cycle benchmarking — contributes here, so a shared
+        table build covers the union of all protocol workloads.
         """
         from ..benchmarking.engine import used_element_indices
-        from ..benchmarking.rb import rb_sequences
-        from ..circuits.gate import Gate
 
         used: set[int] = set()
         for spec in consumers:
-            interleaved = None
-            if isinstance(spec, IRBSpec):
-                interleaved = Gate.standard(spec.gate)
-            sequences = rb_sequences(
+            used |= used_element_indices(self._spec_sequences(spec))
+        return used
+
+    def _spec_sequences(self, spec) -> list:
+        """The (circuit-free) sequences a table-consuming spec replays."""
+        if spec.kind in ("rb", "irb"):
+            from ..benchmarking.rb import rb_sequences
+            from ..circuits.gate import Gate
+
+            interleaved = Gate.standard(spec.gate) if spec.kind == "irb" else None
+            return rb_sequences(
                 list(spec.qubits),
                 lengths=spec.lengths,
                 n_seeds=spec.n_seeds,
@@ -591,8 +608,41 @@ class Session:
                 build_circuits=False,
                 store=self.store,
             )
-            used |= used_element_indices(sequences)
-        return used
+        if spec.kind == "xeb":
+            from ..benchmarking.xeb import xeb_sequences
+
+            return xeb_sequences(
+                list(spec.qubits),
+                depths=spec.depths,
+                n_circuits=spec.n_circuits,
+                seed=spec.seed,
+                build_circuits=False,
+                store=self.store,
+            )
+        if spec.kind == "purity_rb":
+            from ..benchmarking.purity import purity_rb_sequences
+
+            return purity_rb_sequences(
+                list(spec.qubits),
+                lengths=spec.lengths,
+                n_seeds=spec.n_seeds,
+                seed=spec.seed,
+                build_circuits=False,
+                store=self.store,
+            )
+        if spec.kind == "cycle":
+            from ..benchmarking.cycle import cycle_sequences
+
+            return cycle_sequences(
+                list(spec.qubits),
+                spec.gate,
+                lengths=spec.lengths,
+                n_seeds=spec.n_seeds,
+                seed=spec.seed,
+                build_circuits=False,
+                store=self.store,
+            )
+        raise ValidationError(f"no sequence generator for spec kind {spec.kind!r}")
 
     # ------------------------------------------------------------------ #
     # execution
@@ -621,7 +671,7 @@ class Session:
 
     def _publish_result(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
         """Publish a freshly computed result to the store (exactly once)."""
-        if self.store is None or isinstance(spec, SweepSpec):
+        if self.store is None or spec.is_container:
             return
         self.store.save_result(
             result,
@@ -681,8 +731,8 @@ class Session:
 
     def _run_spec_inner(self, spec: ExperimentSpec) -> ExperimentResult:
         """Serve one spec: cache hit, in-flight wait, or cold execution."""
-        if isinstance(spec, SweepSpec):
-            return self._run_sweep(spec)
+        if spec.is_container:
+            return self._run_container(spec)
         with self._span("cache_lookup", spec_fingerprint=spec.fingerprint()) as attrs:
             cached = self._cached_result(spec)
             attrs["hit"] = cached is not None
@@ -824,14 +874,10 @@ class Session:
 
         execute_start = time.perf_counter()
         with self._span("execute", kind=spec.kind):
-            if isinstance(spec, GRAPESpec):
-                payload, provenance_extra = self._execute_grape(spec)
-            elif isinstance(spec, RBSpec):
-                payload, provenance_extra = self._execute_rb(spec)
-            elif isinstance(spec, IRBSpec):
-                payload, provenance_extra = self._execute_irb(spec)
-            else:
+            executor_name = self._EXECUTORS.get(spec.kind)
+            if executor_name is None:
                 raise ValidationError(f"cannot execute spec of kind {spec.kind!r}")
+            payload, provenance_extra = getattr(self, executor_name)(spec)
         execute_s = time.perf_counter() - execute_start
 
         self._bump_stat("executions")
@@ -850,16 +896,20 @@ class Session:
             self._publish_result(spec, result)
         return result
 
-    def _run_sweep(self, spec: SweepSpec) -> ExperimentResult:
-        """Execute a sweep: plan the grid jointly, then run every point.
+    def _run_container(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute a container spec: plan its children jointly, run each.
 
-        The plan is cache-aware, so the sweep resolves at **per-point
-        granularity**: grid points whose result is already cached are
-        served from the store (payload bit-identical to the cold run) and
-        excluded from preparation; only the missing points build prep and
-        execute.  The aggregate sweep result itself is reassembled from
-        the points rather than cached — its provenance reports how many
-        points were warm (``cached_points``).
+        Covers every ``is_container`` spec — parameter sweeps and drift
+        studies alike.  The plan is cache-aware, so the container resolves
+        at **per-child granularity**: children whose result is already
+        cached are served from the store (payload bit-identical to the
+        cold run) and excluded from preparation; only the missing children
+        build prep and execute.  The aggregate result itself is
+        reassembled from the children rather than cached — its provenance
+        reports how many were warm (``cached_points``).  The payload opens
+        with the container's :meth:`~repro.session.specs.ExperimentSpec.payload_header`
+        (the sweep's grid, the drift study's day axis) followed by the
+        per-child documents.
         """
         children = spec.expand()
         with self._span("plan") as attrs:
@@ -870,7 +920,7 @@ class Session:
             self._build_plan(plan)
         results = [self._run_spec(child) for child in children]
         payload = {
-            "grid": [[name, list(values)] for name, values in spec.grid],
+            **spec.payload_header(),
             "children": [
                 {"spec": r.spec, "payload": r.payload, "provenance": r.provenance}
                 for r in results
@@ -884,6 +934,21 @@ class Session:
         return ExperimentResult(
             kind=spec.kind, spec=spec.to_dict(), payload=payload, provenance=provenance
         )
+
+    #: Spec kind → executor method name: the single execution registry
+    #: every concrete spec dispatches through.  New spec kinds plug in by
+    #: registering a planner (:func:`~repro.session.planner.register_spec_planner`)
+    #: and adding one executor entry here — cache replay, traces, stats and
+    #: service submission come for free.
+    _EXECUTORS = {
+        "grape": "_execute_grape",
+        "optimizer": "_execute_optimizer",
+        "rb": "_execute_rb",
+        "irb": "_execute_irb",
+        "xeb": "_execute_xeb",
+        "purity_rb": "_execute_purity_rb",
+        "cycle": "_execute_cycle",
+    }
 
     def _execute_grape(self, spec: GRAPESpec):
         """Execute a GRAPE spec: expose the pulse and its channel errors."""
@@ -995,6 +1060,97 @@ class Session:
         for label, curve in (("reference", result.reference), ("interleaved", result.interleaved)):
             for key, value in self._rb_payload(curve).items():
                 payload[f"{label}_{key}"] = value
+        return payload, self._table_provenance(spec)
+
+    def _execute_optimizer(self, spec: OptimizerSpec):
+        """Execute an optimizer spec: the pulse payload + method digest.
+
+        An ``lbfgs`` spec with no method options **is** the legacy GRAPE
+        path: it normalizes to the equivalent :class:`GRAPESpec` (shared
+        prep artifact, pulse-cache key and result-cache entry), so its
+        payload stays bit-identical to the ``grape`` kind.  Every other
+        method extends the pulse payload with the optimizer's uniform
+        digest (``wall_time`` is deliberately excluded — payloads must be
+        deterministic for cache replay and shadow verification).
+        """
+        canonical = spec.canonical_pulse_spec()
+        payload, provenance_extra = self._execute_grape(spec)
+        if isinstance(canonical, GRAPESpec):
+            return payload, provenance_extra
+        optimization, _ = self._grape_artifact(spec)
+        digest = optimization.summary()
+        payload["method"] = digest["method"]
+        payload["n_fun_evals"] = digest["n_fun_evals"]
+        payload["termination_reason"] = digest["termination_reason"]
+        payload["converged"] = digest["converged"]
+        return payload, provenance_extra
+
+    def _execute_xeb(self, spec):
+        """Execute a linear-XEB spec through the shared resources."""
+        from ..benchmarking.xeb import run_xeb
+
+        backend = self.backend_for(spec.device)
+        result = run_xeb(
+            backend,
+            list(spec.qubits),
+            depths=spec.depths,
+            n_circuits=spec.n_circuits,
+            shots=spec.shots,
+            seed=spec.seed,
+            engine=spec.engine,
+            store=self._experiment_store(),
+        )
+        payload = {
+            "depths": np.asarray(result.depths),
+            "fidelity": np.asarray(result.fidelity),
+            "layer_fidelity": float(result.layer_fidelity),
+            "layer_fidelity_err": float(result.fit.alpha_err),
+        }
+        return payload, self._table_provenance(spec)
+
+    def _execute_purity_rb(self, spec):
+        """Execute a purity-RB (unitarity) spec through the shared resources."""
+        from ..benchmarking.purity import run_purity_rb
+
+        backend = self.backend_for(spec.device)
+        result = run_purity_rb(
+            backend,
+            list(spec.qubits),
+            lengths=spec.lengths,
+            n_seeds=spec.n_seeds,
+            seed=spec.seed,
+            engine=spec.engine,
+            store=self._experiment_store(),
+        )
+        payload = {
+            "lengths": np.asarray(result.lengths),
+            "shifted_purity_mean": np.asarray(result.shifted_purity_mean),
+            "shifted_purity_std": np.asarray(result.shifted_purity_std),
+            "unitarity": float(result.unitarity),
+            "unitarity_err": float(result.unitarity_err),
+        }
+        return payload, self._table_provenance(spec)
+
+    def _execute_cycle(self, spec):
+        """Execute a cycle-benchmarking spec through the shared resources."""
+        from ..benchmarking.cycle import run_cycle_benchmark
+
+        backend = self.backend_for(spec.device)
+        result = run_cycle_benchmark(
+            backend,
+            spec.gate,
+            list(spec.qubits),
+            lengths=spec.lengths,
+            n_seeds=spec.n_seeds,
+            shots=spec.shots,
+            seed=spec.seed,
+            engine=spec.engine,
+            num_workers=self._resolve_workers(spec),
+            store=self._experiment_store(),
+        )
+        payload = {"gate_name": result.gate, **self._rb_payload(result.rb)}
+        payload["error_per_cycle"] = float(result.error_per_cycle)
+        payload["error_per_cycle_err"] = float(result.error_per_cycle_err)
         return payload, self._table_provenance(spec)
 
 

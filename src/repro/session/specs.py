@@ -30,10 +30,18 @@ from ..utils.validation import ValidationError
 __all__ = [
     "ExperimentSpec",
     "GRAPESpec",
+    "OptimizerSpec",
     "RBSpec",
     "IRBSpec",
+    "XEBSpec",
+    "PurityRBSpec",
+    "CycleBenchSpec",
     "SweepSpec",
+    "DriftStudySpec",
     "spec_from_dict",
+    "registered_spec_kinds",
+    "OPTIMIZER_METHODS",
+    "OPTIMIZER_METHOD_OPTIONS",
 ]
 
 #: Registry of concrete spec classes by their ``kind`` tag (filled by
@@ -69,6 +77,12 @@ class ExperimentSpec:
     #: Serialization tag; unique per concrete subclass.
     kind: ClassVar[str] = ""
 
+    #: Whether the spec is a *container* over child specs (e.g. a sweep or
+    #: a drift study).  Containers implement :meth:`expand`; the planner
+    #: flattens them before planning and the session reassembles their
+    #: aggregate result from the children.
+    is_container: ClassVar[bool] = False
+
     #: Field names excluded from :meth:`cache_fingerprint`: knobs that
     #: change *how* a spec executes (process fan-out, scheduling), never
     #: what it computes — results are bit-identical across their values.
@@ -97,14 +111,36 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
-        """Rebuild a spec of this class from :meth:`to_dict` output."""
+        """Rebuild a spec of this class from :meth:`to_dict` output.
+
+        Rejects unknown keys with a :class:`ValidationError` (a
+        ``ValueError``) naming both the offending and the known fields —
+        a silently dropped key would deserialize to a *different* workload
+        than the sender fingerprinted.
+        """
         payload = {k: v for k, v in data.items() if k != "kind"}
+        cls._check_unknown_keys(payload)
         return cls(**cls._convert_fields(payload))
+
+    @classmethod
+    def _check_unknown_keys(cls, payload: dict) -> None:
+        """Reject payload keys that are not fields of this spec class."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown field(s) {unknown} for spec kind {cls.kind!r}; "
+                f"known fields: {sorted(known)}"
+            )
 
     @classmethod
     def _convert_fields(cls, payload: dict) -> dict:
         """Hook: convert JSON field values back to constructor values."""
         return payload
+
+    def expand(self) -> list["ExperimentSpec"]:
+        """Concrete child specs of a container spec (containers only)."""
+        raise ValidationError(f"spec kind {self.kind!r} is not a container")
 
     def fingerprint(self) -> str:
         """Stable SHA-256 content address of the spec.
@@ -156,8 +192,27 @@ def spec_from_dict(data: dict) -> ExperimentSpec:
     return spec_cls.from_dict(data)
 
 
+def registered_spec_kinds() -> dict[str, type]:
+    """A copy of the spec-kind registry (``kind`` tag → spec class).
+
+    The conformance harness parametrizes over this, so every registered
+    spec class — including future ones — gets the full contract battery
+    simply by existing.
+    """
+    return dict(_SPEC_KINDS)
+
+
 def _int_tuple(value) -> tuple[int, ...]:
     return tuple(int(v) for v in value)
+
+
+_ENGINES = ("channels", "circuits")
+
+
+def _check_engine_field(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise ValidationError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -230,6 +285,193 @@ class GRAPESpec(ExperimentSpec):
             seed=self.seed,
         )
 
+    def canonical_pulse_spec(self) -> "GRAPESpec":
+        """The canonical pulse-spec identity of this workload (itself)."""
+        return self
+
+    def method_options(self) -> dict:
+        """Method-specific optimizer options (none for plain GRAPE specs)."""
+        return {}
+
+
+#: Optimizer methods selectable through :class:`OptimizerSpec` (lowercase
+#: canonical form of :data:`repro.core.pulseoptim._METHODS`).
+OPTIMIZER_METHODS = ("lbfgs", "grape", "spsa", "crab", "krotov", "goat")
+
+#: Per-method option-block whitelists, mirroring exactly what
+#: :func:`repro.core.pulseoptim.optimize_pulse_unitary` forwards to each
+#: optimizer — an option outside the block would be silently ignored
+#: there, so the spec rejects it eagerly instead.
+OPTIMIZER_METHOD_OPTIONS: dict[str, tuple[str, ...]] = {
+    "lbfgs": (),
+    "grape": ("initial_step", "backtrack_factor", "max_backtracks"),
+    "spsa": ("spsa_a", "spsa_c"),
+    "crab": ("n_coeffs", "coeff_scale"),
+    "krotov": ("lambda_step", "update_shape"),
+    "goat": ("n_modes", "initial_theta"),
+}
+
+
+@dataclass(frozen=True)
+class OptimizerSpec(ExperimentSpec):
+    """Declarative pulse optimization under *any* of the core optimizers.
+
+    Generalizes :class:`GRAPESpec` to the full optimizer zoo of
+    :mod:`repro.core.pulseoptim` — ``lbfgs``, ``grape``, ``spsa``,
+    ``crab``, ``krotov`` and ``goat`` — with a method-specific ``options``
+    block validated against :data:`OPTIMIZER_METHOD_OPTIONS`.  Every
+    method inherits the whole session machinery for free: deduplicated
+    preparation, the ``pulses`` artifact namespace, result-cache replay,
+    traces and service submission.
+
+    ``OptimizerSpec(method="lbfgs")`` with an empty options block is the
+    *same workload* as the equivalent legacy :class:`GRAPESpec`:
+    :meth:`canonical_pulse_spec` normalizes it to that spec, and
+    :meth:`cache_fingerprint` delegates to the canonical form — so the
+    two spellings share one prep artifact, one pulse-cache entry and one
+    result-cache entry, bit-identically.
+
+    Attributes
+    ----------
+    device, gate, qubits, duration_ns, n_ts, include_decoherence, \
+    optimizer_levels, init_pulse_type, init_pulse_scale, amp_lbound, \
+    amp_ubound, fid_err_targ, max_iter, seed
+        As in :class:`GRAPESpec`.
+    method : str
+        One of :data:`OPTIMIZER_METHODS` (lowercase canonical form).
+    options : tuple of (str, value) pairs
+        Method-specific optimizer options (constructor also accepts a
+        ``dict``); names are validated against the method's whitelist.
+    """
+
+    kind: ClassVar[str] = "optimizer"
+
+    device: str = "montreal"
+    gate: str = "x"
+    qubits: tuple[int, ...] = (0,)
+    duration_ns: float = 105.0
+    n_ts: int = 12
+    method: str = "lbfgs"
+    options: tuple[tuple[str, object], ...] = ()
+    include_decoherence: bool = False
+    optimizer_levels: int = 3
+    init_pulse_type: str = "DRAG"
+    init_pulse_scale: float = 0.25
+    amp_lbound: float = -(2.0**-0.5)
+    amp_ubound: float = 2.0**-0.5
+    fid_err_targ: float = 1e-10
+    max_iter: int = 300
+    seed: int | None = 1234
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _int_tuple(self.qubits))
+        method = str(self.method).lower()
+        if method not in OPTIMIZER_METHODS:
+            raise ValidationError(
+                f"method must be one of {OPTIMIZER_METHODS}, got {self.method!r}"
+            )
+        object.__setattr__(self, "method", method)
+        options = self.options
+        if isinstance(options, dict):
+            options = tuple(options.items())
+        options = tuple((str(name), value) for name, value in options)
+        allowed = OPTIMIZER_METHOD_OPTIONS[method]
+        for name, value in options:
+            if name not in allowed:
+                raise ValidationError(
+                    f"option {name!r} is not valid for method {method!r}; "
+                    f"allowed: {sorted(allowed)}"
+                )
+            if not isinstance(value, (bool, int, float, str)):
+                raise ValidationError(
+                    f"option {name!r} must be a JSON scalar, got {type(value).__name__}"
+                )
+        if len({name for name, _ in options}) != len(options):
+            raise ValidationError("duplicate option names in OptimizerSpec.options")
+        object.__setattr__(self, "options", tuple(sorted(options)))
+        if method == "krotov" and self.include_decoherence:
+            raise ValidationError(
+                "the Krotov implementation supports closed-system optimization only"
+            )
+        # validate the shared pulse-experiment fields eagerly
+        self.gate_config()
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        payload["qubits"] = _int_tuple(payload.get("qubits", (0,)))
+        if payload.get("options"):
+            payload["options"] = tuple(
+                (name, value) for name, value in payload["options"]
+            )
+        elif "options" in payload:
+            payload["options"] = ()
+        return payload
+
+    def gate_config(self):
+        """The equivalent :class:`GateExperimentConfig` (validates fields)."""
+        from ..experiments.gates import GateExperimentConfig
+
+        return GateExperimentConfig(
+            gate=self.gate,
+            qubits=self.qubits,
+            duration_ns=self.duration_ns,
+            n_ts=self.n_ts,
+            method=self.method.upper(),
+            include_decoherence=self.include_decoherence,
+            optimizer_levels=self.optimizer_levels,
+            init_pulse_type=self.init_pulse_type,
+            init_pulse_scale=self.init_pulse_scale,
+            amp_lbound=self.amp_lbound,
+            amp_ubound=self.amp_ubound,
+            fid_err_targ=self.fid_err_targ,
+            max_iter=self.max_iter,
+            seed=self.seed,
+        )
+
+    def canonical_pulse_spec(self) -> ExperimentSpec:
+        """Normalize to the legacy :class:`GRAPESpec` when equivalent.
+
+        ``method="lbfgs"`` with an empty options block computes exactly
+        what the legacy spec computes, so it *is* that spec for artifact
+        and cache purposes; any other method (or a non-empty options
+        block) is its own identity.
+        """
+        if self.method == "lbfgs" and not self.options:
+            return GRAPESpec(
+                device=self.device,
+                gate=self.gate,
+                qubits=self.qubits,
+                duration_ns=self.duration_ns,
+                n_ts=self.n_ts,
+                method="LBFGS",
+                include_decoherence=self.include_decoherence,
+                optimizer_levels=self.optimizer_levels,
+                init_pulse_type=self.init_pulse_type,
+                init_pulse_scale=self.init_pulse_scale,
+                amp_lbound=self.amp_lbound,
+                amp_ubound=self.amp_ubound,
+                fid_err_targ=self.fid_err_targ,
+                max_iter=self.max_iter,
+                seed=self.seed,
+            )
+        return self
+
+    def cache_fingerprint(self) -> str:
+        """Result-cache key, delegated to the canonical pulse spec.
+
+        An lbfgs ``OptimizerSpec`` and its equivalent legacy
+        :class:`GRAPESpec` hit the **same** cache entry (and pulse-store
+        key), proving the thin-alias contract with store counters.
+        """
+        canonical = self.canonical_pulse_spec()
+        if canonical is not self:
+            return canonical.cache_fingerprint()
+        return super().cache_fingerprint()
+
+    def method_options(self) -> dict:
+        """The options block as a plain dict for the optimizer call."""
+        return dict(self.options)
+
 
 @dataclass(frozen=True)
 class RBSpec(ExperimentSpec):
@@ -299,7 +541,7 @@ class IRBSpec(ExperimentSpec):
         Benchmarked physical qubits.
     lengths, n_seeds, shots, seed
         As in :class:`~repro.benchmarking.irb.InterleavedRBExperiment`.
-    calibration : GRAPESpec, optional
+    calibration : GRAPESpec or OptimizerSpec, optional
         Custom pulse for the interleaved gate (``None`` = default gate).
     engine : str
         ``"channels"`` or ``"circuits"``.
@@ -317,7 +559,7 @@ class IRBSpec(ExperimentSpec):
     n_seeds: int = 3
     shots: int = 512
     seed: int | None = None
-    calibration: GRAPESpec | None = None
+    calibration: GRAPESpec | OptimizerSpec | None = None
     engine: str = "channels"
     num_workers: int | None = None
 
@@ -327,9 +569,12 @@ class IRBSpec(ExperimentSpec):
             object.__setattr__(self, "lengths", _int_tuple(self.lengths))
         if len(self.qubits) not in (1, 2):
             raise ValidationError(f"IRB supports 1 or 2 qubits, got {self.qubits}")
-        if self.calibration is not None and not isinstance(self.calibration, GRAPESpec):
+        if self.calibration is not None and not isinstance(
+            self.calibration, (GRAPESpec, OptimizerSpec)
+        ):
             raise ValidationError(
-                f"calibration must be a GRAPESpec or None, got {type(self.calibration).__name__}"
+                "calibration must be a GRAPESpec, an OptimizerSpec or None, "
+                f"got {type(self.calibration).__name__}"
             )
 
     @classmethod
@@ -338,7 +583,194 @@ class IRBSpec(ExperimentSpec):
         if payload.get("lengths") is not None:
             payload["lengths"] = _int_tuple(payload["lengths"])
         if payload.get("calibration") is not None:
-            payload["calibration"] = GRAPESpec.from_dict(payload["calibration"])
+            calibration = payload["calibration"]
+            if not isinstance(calibration, dict) or "kind" not in calibration:
+                raise ValidationError(
+                    "IRBSpec.calibration must be a serialized spec dict with "
+                    f"a 'kind' tag, got {calibration!r}"
+                )
+            payload["calibration"] = spec_from_dict(calibration)
+        return payload
+
+
+@dataclass(frozen=True)
+class XEBSpec(ExperimentSpec):
+    """Declarative cross-entropy benchmarking (linear XEB) run.
+
+    Random circuits are words of uniformly drawn Clifford elements (no
+    recovery); the linear cross-entropy fidelity is estimated per depth
+    from measured bitstrings against the ideal output distribution, and
+    the per-depth fidelities are fit to an exponential decay whose base is
+    the layer fidelity.  The ``channels`` engine composes cached
+    per-Clifford superoperators; ``circuits`` executes each random
+    circuit on the pulse backend — the two are asserted equivalent (the
+    PR 1 engine contract; see ``docs/protocols.md``).
+
+    Attributes
+    ----------
+    device : str
+        Fake-device name.
+    qubits : tuple of int
+        Benchmarked physical qubits (1 or 2).
+    depths : tuple of int, optional
+        Circuit depths (``None`` = default ``(1, 2, 4, 8, 16)``).
+    n_circuits : int
+        Random circuits per depth.
+    shots, seed
+        Sampling controls (as in :class:`RBSpec`).
+    engine : str
+        ``"channels"`` (batched) or ``"circuits"`` (reference).
+    num_workers : int, optional
+        Per-experiment process fan-out; ``None`` inherits the session's.
+    """
+
+    kind: ClassVar[str] = "xeb"
+    _CACHE_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("num_workers",)
+
+    device: str = "montreal"
+    qubits: tuple[int, ...] = (0,)
+    depths: tuple[int, ...] | None = None
+    n_circuits: int = 8
+    shots: int = 512
+    seed: int | None = None
+    engine: str = "channels"
+    num_workers: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _int_tuple(self.qubits))
+        if self.depths is not None:
+            object.__setattr__(self, "depths", _int_tuple(self.depths))
+            if len(self.depths) < 3:
+                raise ValidationError(
+                    f"XEB needs at least 3 depths for the decay fit, got {self.depths}"
+                )
+        if len(self.qubits) not in (1, 2):
+            raise ValidationError(f"XEB supports 1 or 2 qubits, got {self.qubits}")
+        if self.n_circuits < 1:
+            raise ValidationError(f"n_circuits must be positive, got {self.n_circuits}")
+        _check_engine_field(self.engine)
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        payload["qubits"] = _int_tuple(payload.get("qubits", (0,)))
+        if payload.get("depths") is not None:
+            payload["depths"] = _int_tuple(payload["depths"])
+        return payload
+
+
+@dataclass(frozen=True)
+class PurityRBSpec(ExperimentSpec):
+    """Declarative purity randomized benchmarking (unitarity) run.
+
+    Runs standard RB sequences *without* recovery or sampling: the output
+    state's purity ``Tr(ρ²)`` is computed analytically from the composed
+    noisy channel, and the shifted purity decays as ``u^m`` where ``u`` is
+    the unitarity of the average per-Clifford noise.  The ``channels``
+    engine composes cached superoperator tables; ``circuits`` rebuilds
+    each sequence as a circuit and extracts its channel directly.
+
+    Attributes
+    ----------
+    device : str
+        Fake-device name.
+    qubits : tuple of int
+        Benchmarked physical qubits (1 or 2).
+    lengths : tuple of int, optional
+        Sequence lengths (``None`` = qubit-count RB default).
+    n_seeds : int
+        Random sequences per length.
+    seed : int, optional
+        Sequence-sampling seed.
+    engine : str
+        ``"channels"`` (batched) or ``"circuits"`` (reference).
+    """
+
+    kind: ClassVar[str] = "purity_rb"
+
+    device: str = "montreal"
+    qubits: tuple[int, ...] = (0,)
+    lengths: tuple[int, ...] | None = None
+    n_seeds: int = 3
+    seed: int | None = None
+    engine: str = "channels"
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _int_tuple(self.qubits))
+        if self.lengths is not None:
+            object.__setattr__(self, "lengths", _int_tuple(self.lengths))
+        if len(self.qubits) not in (1, 2):
+            raise ValidationError(
+                f"purity RB supports 1 or 2 qubits, got {self.qubits}"
+            )
+        _check_engine_field(self.engine)
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        payload["qubits"] = _int_tuple(payload.get("qubits", (0,)))
+        if payload.get("lengths") is not None:
+            payload["lengths"] = _int_tuple(payload["lengths"])
+        return payload
+
+
+@dataclass(frozen=True)
+class CycleBenchSpec(ExperimentSpec):
+    """Declarative cycle benchmarking of one interleaved cycle.
+
+    Twirls the cycle (a named gate, e.g. ``x`` or ``cx``) with random
+    Pauli layers: each sequence alternates a uniformly drawn Pauli with
+    the cycle, closes with the exact inverse of the whole word, and the
+    survival decay rate gives the error per twirled cycle.  Pauli layers
+    are located inside the Clifford group, so both engines reuse the
+    cached per-Clifford channel tables and the standard RB executor.
+
+    Attributes
+    ----------
+    device : str
+        Fake-device name.
+    gate : str
+        The cycle gate (``x``, ``sx``, ``h``, ``cx``).
+    qubits : tuple of int
+        Benchmarked physical qubits (2 required for ``cx``, else 1).
+    lengths : tuple of int, optional
+        Twirl counts (``None`` = qubit-count RB default).
+    n_seeds, shots, seed
+        As in :class:`RBSpec`.
+    engine : str
+        ``"channels"`` (batched) or ``"circuits"`` (reference).
+    num_workers : int, optional
+        Per-experiment process fan-out; ``None`` inherits the session's.
+    """
+
+    kind: ClassVar[str] = "cycle"
+    _CACHE_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("num_workers",)
+
+    device: str = "montreal"
+    gate: str = "x"
+    qubits: tuple[int, ...] = (0,)
+    lengths: tuple[int, ...] | None = None
+    n_seeds: int = 3
+    shots: int = 512
+    seed: int | None = None
+    engine: str = "channels"
+    num_workers: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", _int_tuple(self.qubits))
+        if self.lengths is not None:
+            object.__setattr__(self, "lengths", _int_tuple(self.lengths))
+        expected = 2 if self.gate == "cx" else 1
+        if len(self.qubits) != expected:
+            raise ValidationError(
+                f"cycle benchmarking of {self.gate!r} needs {expected} qubit(s), "
+                f"got {self.qubits}"
+            )
+        _check_engine_field(self.engine)
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        payload["qubits"] = _int_tuple(payload.get("qubits", (0,)))
+        if payload.get("lengths") is not None:
+            payload["lengths"] = _int_tuple(payload["lengths"])
         return payload
 
 
@@ -362,13 +794,14 @@ class SweepSpec(ExperimentSpec):
     """
 
     kind: ClassVar[str] = "sweep"
+    is_container: ClassVar[bool] = True
 
     base: ExperimentSpec = None  # type: ignore[assignment]
     grid: tuple[tuple[str, tuple], ...] = ()
 
     def __post_init__(self):
-        if not isinstance(self.base, ExperimentSpec) or isinstance(self.base, SweepSpec):
-            raise ValidationError("SweepSpec.base must be a concrete (non-sweep) spec")
+        if not isinstance(self.base, ExperimentSpec) or self.base.is_container:
+            raise ValidationError("SweepSpec.base must be a concrete (non-container) spec")
         grid = self.grid
         if isinstance(grid, dict):
             grid = tuple((name, tuple(values)) for name, values in grid.items())
@@ -396,11 +829,23 @@ class SweepSpec(ExperimentSpec):
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
-        """Rebuild a sweep (and its nested base spec) from dict form."""
-        base = spec_from_dict(data["base"])
+        """Rebuild a sweep (and its nested base spec) from dict form.
+
+        Unknown keys are rejected (they used to be silently dropped here,
+        deserializing to a different workload than the sender
+        fingerprinted); missing ``base``/``grid`` raise a clear error.
+        """
+        payload = {k: v for k, v in data.items() if k != "kind"}
+        cls._check_unknown_keys(payload)
+        for required in ("base", "grid"):
+            if required not in payload:
+                raise ValidationError(
+                    f"SweepSpec dict is missing required field {required!r}"
+                )
+        base = spec_from_dict(payload["base"])
         grid = tuple(
             (name, tuple(tuple(v) if isinstance(v, list) else v for v in values))
-            for name, values in data["grid"]
+            for name, values in payload["grid"]
         )
         return cls(base=base, grid=grid)
 
@@ -413,9 +858,102 @@ class SweepSpec(ExperimentSpec):
             out.append(replace(self.base, **dict(zip(names, point))))
         return out
 
+    def payload_header(self) -> dict:
+        """Container-payload fields placed alongside ``children``."""
+        return {
+            "grid": [[name, [_jsonify(v) for v in values]] for name, values in self.grid]
+        }
+
     def __len__(self) -> int:
         """Number of grid points."""
         total = 1
         for _, values in self.grid:
             total *= len(values)
         return total
+
+
+@dataclass(frozen=True)
+class DriftStudySpec(ExperimentSpec):
+    """Time series of one child spec re-run under drifted calibrations.
+
+    Spec-ifies :func:`repro.experiments.drift.run_drift_study`: the child
+    ``base`` spec is executed once per simulated calendar day, with day
+    ``d > 0`` targeting the drifted device
+    ``drift_device_name(base.device, drift_seed, d)`` (resolved through
+    :class:`repro.devices.drift.CalibrationDriftModel`, deterministic in
+    ``drift_seed``).  Day 0 runs the nominal device *unchanged*, so it
+    cache-shares with any standalone run of ``base`` — per-snapshot cache
+    reuse exactly like :class:`SweepSpec`'s ``cached_points``.
+
+    Attributes
+    ----------
+    base : ExperimentSpec
+        The per-snapshot workload (a concrete spec with a ``device``
+        field, not a container).
+    n_days : int
+        Number of daily snapshots, day 0 = nominal calibration.
+    drift_seed : int
+        Seed of the deterministic drift model.
+    """
+
+    kind: ClassVar[str] = "drift_study"
+    is_container: ClassVar[bool] = True
+
+    base: ExperimentSpec = None  # type: ignore[assignment]
+    n_days: int = 5
+    drift_seed: int = 7
+
+    def __post_init__(self):
+        if not isinstance(self.base, ExperimentSpec) or self.base.is_container:
+            raise ValidationError(
+                "DriftStudySpec.base must be a concrete (non-container) spec"
+            )
+        if not any(f.name == "device" for f in fields(self.base)):
+            raise ValidationError(
+                f"DriftStudySpec.base kind {self.base.kind!r} has no 'device' field"
+            )
+        if "@drift" in getattr(self.base, "device"):
+            raise ValidationError(
+                "DriftStudySpec.base must target a nominal device, "
+                f"got {self.base.device!r}"
+            )
+        if self.n_days < 1:
+            raise ValidationError(f"n_days must be positive, got {self.n_days}")
+        if self.drift_seed < 0:
+            raise ValidationError(f"drift_seed must be >= 0, got {self.drift_seed}")
+
+    @classmethod
+    def _convert_fields(cls, payload: dict) -> dict:
+        if "base" not in payload:
+            raise ValidationError(
+                "DriftStudySpec dict is missing required field 'base'"
+            )
+        if not isinstance(payload["base"], dict) or "kind" not in payload["base"]:
+            raise ValidationError(
+                "DriftStudySpec.base must be a serialized spec dict with a "
+                f"'kind' tag, got {payload['base']!r}"
+            )
+        payload["base"] = spec_from_dict(payload["base"])
+        return payload
+
+    def expand(self) -> list[ExperimentSpec]:
+        """One concrete child spec per day (day 0 = the base unchanged)."""
+        from ..devices.library import drift_device_name
+
+        out: list[ExperimentSpec] = [self.base]
+        for day in range(1, self.n_days):
+            out.append(
+                replace(
+                    self.base,
+                    device=drift_device_name(self.base.device, self.drift_seed, day),
+                )
+            )
+        return out
+
+    def payload_header(self) -> dict:
+        """Container-payload fields placed alongside ``children``."""
+        return {"days": list(range(self.n_days)), "drift_seed": self.drift_seed}
+
+    def __len__(self) -> int:
+        """Number of daily snapshots."""
+        return self.n_days

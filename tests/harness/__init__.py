@@ -1,6 +1,10 @@
 """Test harnesses shared by the suite (not collected as tests).
 
-Currently one member: :mod:`tests.harness.cluster`, the multi-daemon
-crash/fault-injection harness the scale-out tests and the CI
-``cluster-smoke`` job drive.
+Two members:
+
+* :mod:`tests.harness.cluster` — the multi-daemon crash/fault-injection
+  harness the scale-out tests and the CI ``cluster-smoke`` job drive,
+* :mod:`tests.harness.spec_contract` — the spec-conformance battery run
+  against every registered experiment spec kind (serialization round
+  trips, fingerprint discipline, warm zero-execution replay).
 """

@@ -330,9 +330,9 @@ class TestPulsePersistence:
         calls = []
         original = gates_module.optimize_gate_pulse
 
-        def counting(properties, config):
+        def counting(properties, config, **kwargs):
             calls.append(config.gate)
-            return original(properties, config)
+            return original(properties, config, **kwargs)
 
         monkeypatch.setattr(gates_module, "optimize_gate_pulse", counting)
         grape = GRAPESpec(**FAST_GRAPE)
@@ -375,9 +375,9 @@ class TestPulsePersistence:
         calls = []
         original = gates_module.optimize_gate_pulse
 
-        def counting(properties, config):
+        def counting(properties, config, **kwargs):
             calls.append(config.gate)
-            return original(properties, config)
+            return original(properties, config, **kwargs)
 
         monkeypatch.setattr(gates_module, "optimize_gate_pulse", counting)
         grape = GRAPESpec(**FAST_GRAPE)

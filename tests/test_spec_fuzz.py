@@ -1,0 +1,141 @@
+"""Property-based fuzzing of the spec layer (stdlib ``random``, fixed seeds).
+
+Random — but reproducible — spec trees exercise the serialization and
+planning invariants far beyond the handful of hand-written examples:
+
+* any generated spec survives ``to_dict`` → JSON text → ``from_dict``
+  losslessly, with stable fingerprints,
+* container trees (:class:`SweepSpec` grids, :class:`DriftStudySpec`
+  studies) expand without duplicates and plan with unique prep-step keys,
+* fuzzed unknown keys are always rejected by ``spec_from_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.session.planner import expand_specs, plan_specs
+from repro.session.specs import (
+    CycleBenchSpec,
+    DriftStudySpec,
+    PurityRBSpec,
+    RBSpec,
+    SweepSpec,
+    XEBSpec,
+    spec_from_dict,
+)
+from repro.utils.validation import ValidationError
+
+N_CASES = 40
+
+
+def _random_concrete(rng: random.Random):
+    """A random cheap, valid leaf spec (no optimizations — planning only)."""
+    lengths = tuple(sorted(rng.sample(range(1, 33), rng.randint(2, 4))))
+    kind = rng.choice(("rb", "xeb", "purity_rb", "cycle"))
+    if kind == "rb":
+        return RBSpec(
+            device="montreal",
+            qubits=(rng.choice((0, 1)),),
+            lengths=lengths,
+            n_seeds=rng.randint(1, 3),
+            shots=rng.choice((50, 100, 200)),
+            seed=rng.randint(0, 999),
+        )
+    if kind == "xeb":
+        return XEBSpec(
+            device="montreal",
+            qubits=(0,),
+            depths=tuple(sorted(rng.sample(range(1, 17), 3))),
+            n_circuits=rng.randint(2, 6),
+            shots=rng.choice((50, 100)),
+            seed=rng.randint(0, 999),
+        )
+    if kind == "purity_rb":
+        return PurityRBSpec(
+            device="montreal",
+            qubits=(0,),
+            lengths=lengths,
+            n_seeds=rng.randint(1, 3),
+            seed=rng.randint(0, 999),
+        )
+    return CycleBenchSpec(
+        device="montreal",
+        gate=rng.choice(("x", "sx", "h")),
+        qubits=(0,),
+        lengths=lengths,
+        n_seeds=rng.randint(1, 3),
+        shots=rng.choice((50, 100)),
+        seed=rng.randint(0, 999),
+    )
+
+
+def _random_tree(rng: random.Random):
+    """A random spec, possibly wrapped in a container."""
+    leaf = _random_concrete(rng)
+    roll = rng.random()
+    if roll < 0.35:
+        return leaf
+    if roll < 0.75:
+        axes = {"seed": tuple(rng.sample(range(1000), rng.randint(2, 3)))}
+        if rng.random() < 0.5:
+            axes["shots"] = tuple(sorted(rng.sample((50, 100, 200, 400), 2)))
+        if "shots" in axes and "shots" not in {
+            f for f in type(leaf).__dataclass_fields__
+        }:
+            del axes["shots"]
+        return SweepSpec(base=leaf, grid=axes)
+    return DriftStudySpec(
+        base=leaf, n_days=rng.randint(1, 3), drift_seed=rng.randint(0, 99)
+    )
+
+
+@pytest.mark.parametrize("case_seed", range(N_CASES))
+def test_fuzzed_spec_roundtrips_losslessly(case_seed):
+    rng = random.Random(20260808 + case_seed)
+    spec = _random_tree(rng)
+    wire = json.dumps(spec.to_dict(), sort_keys=True)
+    restored = spec_from_dict(json.loads(wire))
+    assert restored == spec
+    assert restored.fingerprint() == spec.fingerprint()
+    # a second trip through the wire is a fixed point
+    assert json.dumps(restored.to_dict(), sort_keys=True) == wire
+
+
+@pytest.mark.parametrize("case_seed", range(N_CASES))
+def test_fuzzed_tree_plans_without_duplicate_prep_steps(case_seed):
+    rng = random.Random(618 + case_seed)
+    batch = [_random_tree(rng) for _ in range(rng.randint(1, 4))]
+    expanded = expand_specs(batch)
+    assert len(expanded) >= len([s for s in batch if not s.is_container])
+    assert not any(s.is_container for s in expanded)
+    plan = plan_specs(expanded)
+    keys = [step.key for step in plan.steps]
+    assert len(keys) == len(set(keys)), f"duplicate prep steps: {keys}"
+    # every expanded spec consumes at least a backend step
+    assert len(plan.specs) == len(expanded)
+
+
+@pytest.mark.parametrize("case_seed", range(10))
+def test_fuzzed_unknown_keys_always_rejected(case_seed):
+    rng = random.Random(42 + case_seed)
+    spec = _random_tree(rng)
+    data = spec.to_dict()
+    bogus = "fuzz_key_" + "".join(rng.choice("abcdef") for _ in range(6))
+    data[bogus] = rng.randint(0, 9)
+    with pytest.raises(ValidationError, match=bogus):
+        spec_from_dict(data)
+
+
+def test_fuzz_generator_hits_every_shape():
+    """The distributions above actually cover leaves and both containers."""
+    shapes = set()
+    for case_seed in range(N_CASES):
+        spec = _random_tree(random.Random(20260808 + case_seed))
+        shapes.add(type(spec).__name__)
+    assert "SweepSpec" in shapes
+    assert "DriftStudySpec" in shapes
+    assert shapes - {"SweepSpec", "DriftStudySpec"}, "no leaf specs generated"
